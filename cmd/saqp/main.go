@@ -1,0 +1,134 @@
+// Command saqp compiles a HiveQL-style query against the synthetic
+// TPC-H/TPC-DS schemas, prints its MapReduce plan, the semantics-aware
+// selectivity estimates (paper Section 3), and — after training the
+// multivariate models on a synthetic corpus — the predicted execution time
+// and Weighted Resource Demand (Section 4).
+//
+// Usage:
+//
+//	saqp -query "SELECT c_name, count(*) FROM customer JOIN orders ON o_custkey = c_custkey GROUP BY c_name"
+//	saqp -sf 10 -train -query "..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"saqp"
+)
+
+func main() {
+	var (
+		sql     = flag.String("query", "", "HiveQL query text (required)")
+		sf      = flag.Float64("sf", 10, "scale factor of the synthetic database (1 ≈ 1 GB TPC-H)")
+		train   = flag.Bool("train", false, "train the time models on a synthetic corpus (slower; enables predictions)")
+		queries = flag.Int("train-queries", 160, "corpus size when -train is set")
+		models  = flag.String("models", "", "path to a trained-models JSON bundle: loaded if it exists, written after -train otherwise")
+	)
+	flag.Parse()
+	if *sql == "" {
+		fmt.Fprintln(os.Stderr, "saqp: -query is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*sql, *sf, *train, *queries, *models); err != nil {
+		fmt.Fprintln(os.Stderr, "saqp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sql string, sf float64, train bool, trainQueries int, modelsPath string) error {
+	fw, err := saqp.NewFramework(saqp.Options{ScaleFactor: sf})
+	if err != nil {
+		return err
+	}
+	if modelsPath != "" {
+		if data, err := os.ReadFile(modelsPath); err == nil {
+			if err := fw.LoadModels(data); err != nil {
+				return fmt.Errorf("loading %s: %w", modelsPath, err)
+			}
+			fmt.Printf("Loaded trained models from %s\n", modelsPath)
+			train = false
+		}
+	}
+	dag, err := fw.Compile(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Plan (%d MapReduce jobs):\n", len(dag.Jobs))
+	for _, j := range dag.Jobs {
+		fmt.Printf("  %s\n", j.Label())
+	}
+
+	est, err := fw.Estimate(dag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nSelectivity estimation:")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  job\ttype\tD_in\tD_med\tD_out\tIS\tFS\trows out\tmaps\treds")
+	for _, je := range est.Jobs {
+		fmt.Fprintf(w, "  %s\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.0f\t%d\t%d\n",
+			je.Job.ID, je.Job.Type, gb(je.InBytes), gb(je.MedBytes), gb(je.OutBytes),
+			je.IS, je.FS, je.OutRows, je.NumMaps, je.NumReduces)
+	}
+	w.Flush()
+
+	if !train && fw.TaskTime == nil {
+		fmt.Println("\n(run with -train to predict execution time and WRD)")
+		return nil
+	}
+	if train {
+		fmt.Printf("\nTraining time models on %d synthetic queries...\n", trainQueries)
+		cfg := saqp.DefaultExperimentConfig()
+		cfg.CorpusQueries = trainQueries
+		art, err := saqp.BuildTrainedArtifacts(cfg)
+		if err != nil {
+			return err
+		}
+		fw.JobTime, fw.TaskTime = art.Jobs, art.Tasks
+		if modelsPath != "" {
+			data, err := fw.SaveModels("trained by cmd/saqp")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(modelsPath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("Saved trained models to %s\n", modelsPath)
+		}
+	}
+
+	secs, err := fw.PredictQuerySeconds(est)
+	if err != nil {
+		return err
+	}
+	wrd, err := fw.WRD(est)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nPredicted response time (alone on 9-node cluster): %.1f s\n", secs)
+	fmt.Printf("Weighted Resource Demand (Eq. 10):                 %.0f task-seconds\n", wrd)
+	for _, je := range est.Jobs {
+		js, err := fw.PredictJobSeconds(je)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s predicted job time (Eq. 8): %.1f s\n", je.Job.ID, js)
+	}
+	return nil
+}
+
+func gb(b float64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2fGB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.1fMB", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.0fKB", b/1e3)
+	}
+	return fmt.Sprintf("%.0fB", b)
+}

@@ -1,0 +1,71 @@
+// Command wlgen emits a workload description as JSON: the query mix of the
+// paper's Table 2 (Bing or Facebook composition) instantiated over the
+// synthetic TPC-H/TPC-DS schemas, with Poisson arrival offsets.
+//
+// Usage:
+//
+//	wlgen -mix bing -gap 12 -seed 7 > bing.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"saqp/internal/workload"
+)
+
+// itemJSON is the serialised form of one workload entry.
+type itemJSON struct {
+	SQL        string  `json:"sql"`
+	Shape      string  `json:"shape"`
+	Bin        int     `json:"bin"`
+	ScaleFac   float64 `json:"scale_factor"`
+	ArrivalSec float64 `json:"arrival_sec"`
+}
+
+func main() {
+	var (
+		mix  = flag.String("mix", "bing", "workload mix: bing or facebook")
+		gap  = flag.Float64("gap", 12, "mean Poisson inter-arrival gap (seconds)")
+		seed = flag.Uint64("seed", 2018, "generator seed")
+	)
+	flag.Parse()
+	if err := run(*mix, *gap, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mix string, gap float64, seed uint64) error {
+	var comp []workload.BinSpec
+	switch mix {
+	case "bing":
+		comp = workload.BingComposition()
+	case "facebook":
+		comp = workload.FacebookComposition()
+	default:
+		return fmt.Errorf("unknown mix %q (want bing or facebook)", mix)
+	}
+	w, err := workload.BuildWorkload(mix, comp, gap, seed)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		Name  string     `json:"name"`
+		Items []itemJSON `json:"items"`
+	}{Name: w.Name}
+	for _, it := range w.Items {
+		out.Items = append(out.Items, itemJSON{
+			SQL:        it.Query.String(),
+			Shape:      it.Shape.String(),
+			Bin:        it.Bin,
+			ScaleFac:   it.SF,
+			ArrivalSec: it.ArrivalSec,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

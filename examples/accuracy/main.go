@@ -1,0 +1,74 @@
+// Accuracy study: reproduce the paper's prediction-accuracy artifacts —
+// Table 3 (job time model, Eq. 8), Tables 4 and 5 (map/reduce task models,
+// Eq. 9), Figure 6 (job scatter) and Figure 7 (query-level prediction on
+// 100 GB queries).
+//
+// The corpus mirrors Section 5.1: ~1,000 TPC-H/TPC-DS-shaped queries over
+// 1–100 GB inputs, executed on the simulated cluster; 3/4 train, 1/4 test.
+// Pass -queries to change corpus size (default 240 for a fast run).
+//
+//	go run ./examples/accuracy [-queries 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"saqp"
+)
+
+func main() {
+	queries := flag.Int("queries", 240, "corpus size (paper: 1000)")
+	flag.Parse()
+
+	cfg := saqp.DefaultExperimentConfig()
+	cfg.CorpusQueries = *queries
+	fmt.Printf("Building corpus of %d queries (%d jobs after compilation)...\n",
+		*queries, 0)
+	art, err := saqp.BuildTrainedArtifacts(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Corpus: %d queries -> %d MapReduce jobs, %d task samples\n",
+		len(art.Corpus.Runs), art.Corpus.NumJobs(), len(art.Corpus.TaskSamples))
+
+	t3 := saqp.ReproduceTable3(art)
+	fmt.Println("\nTable 3 — job execution time (training set):")
+	for _, r := range t3.TrainRows {
+		fmt.Printf("  %-8s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
+			r.Op, 100*r.RSquared, 100*r.AvgError, r.N)
+	}
+	fmt.Printf("  TestSet avg err=%6.2f%% over %d jobs (paper: 13.98%%)\n",
+		100*t3.TestSetAvgError, t3.TestSetJobs)
+
+	fmt.Println("\nTable 4 — map task time (training set):")
+	for _, r := range saqp.ReproduceTable4(art) {
+		fmt.Printf("  %-8s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
+			r.Op, 100*r.RSquared, 100*r.AvgError, r.N)
+	}
+	fmt.Println("\nTable 5 — reduce task time (training set):")
+	for _, r := range saqp.ReproduceTable5(art) {
+		fmt.Printf("  %-8s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
+			r.Op, 100*r.RSquared, 100*r.AvgError, r.N)
+	}
+
+	pts := saqp.ReproduceFig6(art)
+	var under, over int
+	for _, p := range pts {
+		if p.Predicted < p.Actual {
+			under++
+		} else {
+			over++
+		}
+	}
+	fmt.Printf("\nFigure 6 — %d test-set jobs scatter around the perfect line "+
+		"(%d under, %d over)\n", len(pts), under, over)
+
+	f7, err := saqp.ReproduceFig7(art, cfg, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 7 — query response prediction on 100 GB queries: "+
+		"avg err %.2f%% (paper: 8.3%%)\n", 100*f7.AvgError)
+}

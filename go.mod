@@ -1,0 +1,3 @@
+module saqp
+
+go 1.22

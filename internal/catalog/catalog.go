@@ -1,0 +1,342 @@
+// Package catalog maintains the offline table statistics that the paper's
+// selectivity estimator consumes: row counts, average tuple widths,
+// per-column distinct cardinalities, physical clustering flags, and
+// equi-width histograms (Section 3.1: "Off-line histograms are built for
+// the attributes of the input table ... and stored on HDFS").
+//
+// Statistics come from two paths that must agree in expectation:
+//
+//   - Collect scans a materialised relation — ground truth at laptop scale,
+//     used by tests to validate the synthetic path;
+//   - FromSchema derives statistics analytically from a schema at any scale
+//     factor — how 100 GB+ experiments get statistics without 100 GB of RAM.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"saqp/internal/dataset"
+	"saqp/internal/histogram"
+)
+
+// DefaultBuckets is the histogram resolution used when callers do not
+// specify one.
+const DefaultBuckets = 64
+
+// ColumnStats summarises one column.
+type ColumnStats struct {
+	Name     string       `json:"name"`
+	Kind     dataset.Kind `json:"kind"`
+	Distinct int64        `json:"distinct"`
+	AvgWidth float64      `json:"avg_width"`
+	// Min and Max bound the numeric domain (ints, floats, dates). For
+	// string columns both are 0 and Hist is nil.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Hist is the equi-width histogram for numeric columns.
+	Hist *histogram.Histogram `json:"hist,omitempty"`
+	// Clustered records whether equal values are physically adjacent —
+	// selects between the two S_comb cases of Eq. 2.
+	Clustered bool `json:"clustered"`
+	// TopShare is the row share of the single most frequent value — the
+	// most-common-value statistic that exposes hash-partition skew which
+	// equi-width buckets smear out.
+	TopShare float64 `json:"top_share"`
+	// Ref is "table.column" when this column is a foreign key.
+	Ref string `json:"ref,omitempty"`
+}
+
+// TableStats summarises one table.
+type TableStats struct {
+	Name          string                  `json:"name"`
+	Rows          int64                   `json:"rows"`
+	Bytes         int64                   `json:"bytes"`
+	AvgTupleWidth float64                 `json:"avg_tuple_width"`
+	Columns       map[string]*ColumnStats `json:"columns"`
+}
+
+// Column returns stats for the named column or nil.
+func (t *TableStats) Column(name string) *ColumnStats {
+	return t.Columns[name]
+}
+
+// Catalog maps table names to statistics.
+type Catalog struct {
+	Tables map[string]*TableStats `json:"tables"`
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{Tables: make(map[string]*TableStats)}
+}
+
+// Table returns stats for the named table, or an error naming the table.
+func (c *Catalog) Table(name string) (*TableStats, error) {
+	t, ok := c.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no statistics for table %q", name)
+	}
+	return t, nil
+}
+
+// Put installs (or replaces) statistics for a table.
+func (c *Catalog) Put(t *TableStats) { c.Tables[t.Name] = t }
+
+// Collect scans a materialised relation and produces exact statistics with
+// histograms of the given bucket count (DefaultBuckets if n <= 0).
+func Collect(rel *dataset.Relation, n int) *TableStats {
+	if n <= 0 {
+		n = DefaultBuckets
+	}
+	s := rel.Schema
+	ts := &TableStats{
+		Name:    s.Name,
+		Rows:    rel.NumRows(),
+		Bytes:   rel.Bytes(),
+		Columns: make(map[string]*ColumnStats, len(s.Columns)),
+	}
+	if ts.Rows > 0 {
+		ts.AvgTupleWidth = float64(ts.Bytes) / float64(ts.Rows)
+	}
+	for ci := range s.Columns {
+		col := &s.Columns[ci]
+		cs := collectColumn(rel, ci, col, n)
+		ts.Columns[cs.Name] = cs
+	}
+	return ts
+}
+
+func collectColumn(rel *dataset.Relation, ci int, col *dataset.Column, n int) *ColumnStats {
+	cs := &ColumnStats{Name: col.Name, Kind: col.Kind, Ref: col.Ref}
+	freq := make(map[string]int64)
+	distinct := make(map[string]struct{})
+	var widthSum float64
+	numeric := col.Kind != dataset.KindString
+	min, max := math.Inf(1), math.Inf(-1)
+	var vals []float64
+	if numeric {
+		vals = make([]float64, 0, len(rel.Rows))
+	}
+	adjacentEqual := 0
+	for i, row := range rel.Rows {
+		v := row[ci]
+		distinct[v.Key()] = struct{}{}
+		freq[v.Key()]++
+		widthSum += float64(v.Width())
+		if numeric {
+			f := v.Num()
+			vals = append(vals, f)
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+		if i > 0 && v.Equal(rel.Rows[i-1][ci]) {
+			adjacentEqual++
+		}
+	}
+	rows := len(rel.Rows)
+	cs.Distinct = int64(len(distinct))
+	if rows > 0 {
+		cs.AvgWidth = widthSum / float64(rows)
+		var top int64
+		for _, c := range freq {
+			if c > top {
+				top = c
+			}
+		}
+		cs.TopShare = float64(top) / float64(rows)
+	}
+	// A column is "clustered" when equal values sit together far more often
+	// than random placement would produce. Random placement yields about
+	// rows/distinct adjacent pairs; require 4x that, and at least 10% runs.
+	if rows > 1 && cs.Distinct > 0 {
+		expectRandom := float64(rows) / float64(cs.Distinct)
+		cs.Clustered = float64(adjacentEqual) > 4*expectRandom &&
+			float64(adjacentEqual) > 0.1*float64(rows)
+	}
+	if numeric && rows > 0 {
+		hi := max + 1 // domain is [min, max+1) so max lands in the last bucket
+		cs.Min, cs.Max = min, max
+		nb := n
+		if int64(nb) > cs.Distinct {
+			nb = int(cs.Distinct)
+		}
+		cs.Hist = histogram.Build(vals, min, hi, nb)
+	}
+	return cs
+}
+
+// FromSchema derives statistics analytically at scale factor sf without
+// materialising any rows. Histograms are synthesized from the declared
+// distribution: uniform/sequential/clustered columns get flat bucket
+// weights; Zipf columns get bucket masses integrated from the Zipf density,
+// so the skew the estimator must cope with is preserved.
+func FromSchema(s *dataset.Schema, sf float64, n int) *TableStats {
+	if n <= 0 {
+		n = DefaultBuckets
+	}
+	rows := s.RowsAt(sf)
+	ts := &TableStats{
+		Name:          s.Name,
+		Rows:          rows,
+		Bytes:         s.BytesAt(sf),
+		AvgTupleWidth: float64(s.AvgTupleWidth()),
+		Columns:       make(map[string]*ColumnStats, len(s.Columns)),
+	}
+	for ci := range s.Columns {
+		col := &s.Columns[ci]
+		// domainCard is the declared key-domain size (values are drawn from
+		// the full domain even when few rows exist); distinct is capped at
+		// the row count.
+		domainCard := col.Card(sf)
+		if domainCard < 1 {
+			domainCard = 1
+		}
+		distinct := domainCard
+		if distinct > rows {
+			distinct = rows
+		}
+		cs := &ColumnStats{
+			Name:      col.Name,
+			Kind:      col.Kind,
+			Distinct:  distinct,
+			AvgWidth:  float64(col.AvgWidth()),
+			Clustered: col.Dist == dataset.DistClustered || col.Dist == dataset.DistSequential,
+			Ref:       col.Ref,
+			TopShare:  analyticTopShare(col, domainCard, rows),
+		}
+		if col.Kind != dataset.KindString {
+			lo := domainLo(col)
+			width := domainWidth(col, domainCard)
+			cs.Min, cs.Max = lo, lo+width
+			// Never use more buckets than distinct domain values: integer
+			// rounding would otherwise pile all rows into one bucket.
+			nb := n
+			if int64(nb) > domainCard {
+				nb = int(domainCard)
+			}
+			var weights []float64
+			if col.Dist == dataset.DistZipf {
+				weights = zipfBucketWeights(col.Skew, domainCard, nb)
+			}
+			cs.Hist = histogram.Synthesize(rows, domainCard, lo, nb, weights)
+			// Synthesize labels the domain as [lo, lo+card) in key steps.
+			// For float columns one key step is 0.01 units, and the key→
+			// value map is affine, so relabelling the axis is exact.
+			if col.Kind == dataset.KindFloat {
+				cs.Hist.Lo, cs.Hist.Hi = lo, lo+width
+			}
+		}
+		ts.Columns[cs.Name] = cs
+	}
+	return ts
+}
+
+// domainLo returns the smallest numeric value the column generates.
+func domainLo(col *dataset.Column) float64 { return float64(col.Lo) }
+
+// domainWidth returns the numeric width of the generated domain.
+func domainWidth(col *dataset.Column, card int64) float64 {
+	if col.Kind == dataset.KindFloat {
+		return float64(card) * 0.01
+	}
+	return float64(card)
+}
+
+// analyticTopShare derives the most-common-value share from the declared
+// distribution: the head of the Zipf law for skewed columns, 1/card for
+// the rest.
+func analyticTopShare(col *dataset.Column, card, rows int64) float64 {
+	if rows <= 0 || card <= 0 {
+		return 0
+	}
+	uniform := 1 / float64(card)
+	if col.Dist != dataset.DistZipf {
+		return math.Min(1, uniform)
+	}
+	s := col.Skew
+	if s <= 1 {
+		s = 1.2
+	}
+	// Normalising constant of P(k) ∝ (1+k)^-s over k ∈ [0, card): partial
+	// sum of the head plus an integral tail.
+	norm := 0.0
+	head := int64(1000)
+	if head > card {
+		head = card
+	}
+	for k := int64(0); k < head; k++ {
+		norm += math.Pow(float64(1+k), -s)
+	}
+	if card > head {
+		// ∫_{head}^{card} (1+x)^-s dx
+		norm += (math.Pow(float64(1+head), 1-s) - math.Pow(float64(1+card), 1-s)) / (s - 1)
+	}
+	if norm <= 0 {
+		return uniform
+	}
+	return math.Min(1, 1/norm)
+}
+
+// zipfBucketWeights integrates the Zipf(s, v=1) density 1/(1+x)^s over n
+// equal-width slices of [0, card).
+func zipfBucketWeights(s float64, card int64, n int) []float64 {
+	if s <= 1 {
+		s = 1.2
+	}
+	antideriv := func(x float64) float64 {
+		// ∫ (1+x)^(-s) dx = (1+x)^(1-s) / (1-s)
+		return math.Pow(1+x, 1-s) / (1 - s)
+	}
+	w := make([]float64, n)
+	step := float64(card) / float64(n)
+	for i := range w {
+		lo, hi := float64(i)*step, float64(i+1)*step
+		w[i] = antideriv(hi) - antideriv(lo)
+		if w[i] < 0 {
+			w[i] = 0
+		}
+	}
+	return w
+}
+
+// Encode serialises the catalog to JSON (the stand-in for statistics files
+// stored on HDFS).
+func (c *Catalog) Encode() ([]byte, error) { return json.Marshal(c) }
+
+// Decode parses a catalog produced by Encode.
+func Decode(data []byte) (*Catalog, error) {
+	var c Catalog
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("catalog: decode: %w", err)
+	}
+	if c.Tables == nil {
+		c.Tables = make(map[string]*TableStats)
+	}
+	return &c, nil
+}
+
+// CollectAll builds a catalog by materialising and scanning every schema at
+// scale factor sf with the given seed — the ground-truth statistics path.
+func CollectAll(schemas []*dataset.Schema, sf float64, seed uint64, n int) *Catalog {
+	c := New()
+	for _, s := range schemas {
+		rel := dataset.Generate(s, sf, seed)
+		c.Put(Collect(rel, n))
+	}
+	return c
+}
+
+// FromSchemas builds a catalog analytically for every schema at scale sf.
+func FromSchemas(schemas []*dataset.Schema, sf float64, n int) *Catalog {
+	c := New()
+	for _, s := range schemas {
+		c.Put(FromSchema(s, sf, n))
+	}
+	return c
+}

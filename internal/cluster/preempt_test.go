@@ -1,0 +1,87 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"saqp/internal/cluster"
+	"saqp/internal/sched"
+)
+
+// preemptScenario: a big job hoards the single reduce slot while its many
+// maps crawl on one map slot; a small job finishes its map quickly and has
+// a shuffle-ready reduce.
+func preemptScenario() (*cluster.Query, *cluster.Query) {
+	big := synthQuery("big", []jobSpec{{id: "J1", maps: 20, reds: 1, mapSec: 10, redSec: 5}})
+	small := synthQuery("small", []jobSpec{{id: "J1", maps: 1, reds: 1, mapSec: 2, redSec: 2}})
+	return big, small
+}
+
+func TestPreemptionFreesHoardedSlot(t *testing.T) {
+	run := func(preempt bool) (smallResp float64) {
+		big, small := preemptScenario()
+		cfg := cluster.Config{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1,
+			ReduceSlowstart: 0.05, PreemptiveReduce: preempt}
+		s := cluster.New(cfg, sched.HFS{})
+		s.Submit(big, 0)
+		s.Submit(small, 1)
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return small.ResponseTime()
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("preemption did not help the small query: %v vs %v", with, without)
+	}
+	// Without preemption the small query waits for the big job's whole map
+	// phase (~200s of serialized maps); with it, only for its own work.
+	if without < 100 {
+		t.Fatalf("scenario broken: small query not starved without preemption (%v)", without)
+	}
+	if with > 60 {
+		t.Fatalf("small query still starved with preemption: %v", with)
+	}
+}
+
+func TestPreemptionPreservesCorrectness(t *testing.T) {
+	// Both queries still complete, all tasks done exactly once.
+	big, small := preemptScenario()
+	cfg := cluster.Config{Nodes: 1, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		ReduceSlowstart: 0.05, PreemptiveReduce: true}
+	s := cluster.New(cfg, sched.HFS{})
+	s.Submit(big, 0)
+	s.Submit(small, 1)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []*cluster.Query{big, small} {
+		if !q.Done() {
+			t.Fatalf("%s not done", q.ID)
+		}
+		if q.RemainingWRD() != 0 {
+			t.Fatalf("%s WRD not drained: %v", q.ID, q.RemainingWRD())
+		}
+		for _, j := range q.Jobs {
+			for _, task := range append(append([]*cluster.Task{}, j.Maps...), j.Reds...) {
+				if task.State != cluster.TaskDone {
+					t.Fatalf("task in job %s not done", j.ID)
+				}
+				if task.EndTime <= task.StartTime {
+					t.Fatalf("task has empty run interval")
+				}
+			}
+		}
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+}
+
+func TestPreemptionOffByDefault(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	if cfg.PreemptiveReduce {
+		t.Fatal("preemption must be opt-in (the paper's baseline Hadoop lacks it)")
+	}
+}

@@ -1,0 +1,639 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config sizes the simulated cluster. Defaults mirror the paper's testbed:
+// 9 nodes × 12 containers, split Hadoop-1 style into map and reduce slots.
+type Config struct {
+	Nodes int
+	// MapSlotsPerNode and ReduceSlotsPerNode partition each node's
+	// containers by phase, as Hadoop 1.x task trackers did (the paper's 12
+	// containers/node ≈ 8 map + 4 reduce slots).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// ContainersPerNode is a convenience: when the per-phase slot counts
+	// are zero it is split 2:1 into map and reduce slots.
+	ContainersPerNode int
+	// NodeFactors optionally gives per-node speed multipliers (length
+	// Nodes); nil means 1.0 everywhere.
+	NodeFactors []float64
+	// SchedulingOverheadSec is added to every task dispatch (heartbeat and
+	// container launch latency).
+	SchedulingOverheadSec float64
+	// JobInitSec delays a job's tasks after submission — Hadoop 1.x job
+	// initialization (split computation, task localisation) plus Hive's
+	// per-stage planning.
+	JobInitSec float64
+	// ReduceSlowstart is the fraction of a job's maps that must complete
+	// before its reduces launch (mapred.reduce.slowstart.completed.maps,
+	// Hadoop default 0.05). A launched reduce occupies its slot through
+	// the end of its job's map phase — the slot hoarding behind the delay
+	// tails and monopolizing behaviour the paper cites ([27], [30]).
+	ReduceSlowstart float64
+	// PreemptiveReduce enables the preemptive reduce-task scheduling of the
+	// paper's reference [30] (Wang et al., ICAC'13): a reduce that is
+	// hoarding its slot waiting for its job's maps is preempted — requeued
+	// at no lost work — when another job has shuffle-ready reduces and no
+	// slot is free. Jobs with completed map phases also take priority for
+	// reduce slots, preventing relaunch ping-pong.
+	PreemptiveReduce bool
+	// SpeculativeExecution enables Hadoop-style straggler mitigation: when
+	// slots would otherwise idle, the slowest running attempt is duplicated
+	// on a free slot and the task completes with whichever attempt finishes
+	// first. Off by default, as on the paper's testbed configuration.
+	SpeculativeExecution bool
+}
+
+// DefaultConfig mirrors the paper's 9-node, 12-container testbed.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:                 9,
+		MapSlotsPerNode:       8,
+		ReduceSlotsPerNode:    4,
+		SchedulingOverheadSec: 0.5,
+		JobInitSec:            10,
+		ReduceSlowstart:       0.05,
+	}
+}
+
+// normalize resolves defaulting rules.
+func (c Config) normalize() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 9
+	}
+	if c.MapSlotsPerNode <= 0 && c.ReduceSlotsPerNode <= 0 {
+		total := c.ContainersPerNode
+		if total <= 0 {
+			total = 12
+		}
+		c.MapSlotsPerNode = (2*total + 2) / 3
+		c.ReduceSlotsPerNode = total - c.MapSlotsPerNode
+		if c.ReduceSlotsPerNode < 1 {
+			c.ReduceSlotsPerNode = 1
+		}
+	}
+	if c.MapSlotsPerNode < 1 {
+		c.MapSlotsPerNode = 1
+	}
+	if c.ReduceSlotsPerNode < 1 {
+		c.ReduceSlotsPerNode = 1
+	}
+	if c.ReduceSlowstart <= 0 {
+		c.ReduceSlowstart = 0.05
+	}
+	if c.ReduceSlowstart > 1 {
+		c.ReduceSlowstart = 1
+	}
+	return c
+}
+
+// Scheduler ranks jobs when a slot frees. The simulator filters the active
+// set down to jobs holding a runnable task of the requested phase before
+// calling PickJob; implementations only choose *which job* goes next.
+type Scheduler interface {
+	Name() string
+	// PickJob selects the next job to serve from candidates (all of which
+	// have a runnable task of the given phase), or nil to leave the slot
+	// idle. active carries every submitted-but-unfinished job, which
+	// share-based policies need for usage accounting.
+	PickJob(now float64, candidates, active []*Job, reduce bool) *Job
+}
+
+// event is a simulator occurrence ordered by time.
+type event struct {
+	time float64
+	kind eventKind
+	// seq breaks ties deterministically in arrival order.
+	seq int
+
+	query *Query // arrival
+	task  *Task  // finish
+	node  int    // node of the finishing attempt
+	spec  bool   // the attempt was a speculative duplicate
+}
+
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evFinish
+	evWake // a job finished initialising; re-run dispatch
+)
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
+func (h *eventHeap) empty() bool   { return len(*h) == 0 }
+
+// Sim is one simulation run: a cluster, a scheduler and a set of queries.
+type Sim struct {
+	cfg   Config
+	sched Scheduler
+
+	factors  []float64
+	mapFree  []int // free map slots (node ids)
+	redFree  []int // free reduce slots (node ids)
+	events   eventHeap
+	seq      int
+	now      float64
+	queries  []*Query
+	active   []*Job // submitted, unfinished jobs in submission order
+	busySec  float64
+	slotsTot int
+	hoarded  int // reduce slots held by not-yet-runnable reduces
+}
+
+// New builds a simulator with the given cluster config and scheduler.
+func New(cfg Config, sched Scheduler) *Sim {
+	cfg = cfg.normalize()
+	s := &Sim{cfg: cfg, sched: sched}
+	s.factors = make([]float64, cfg.Nodes)
+	for i := range s.factors {
+		if cfg.NodeFactors != nil {
+			s.factors[i] = cfg.NodeFactors[i]
+		} else {
+			s.factors[i] = 1
+		}
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		for k := 0; k < cfg.MapSlotsPerNode; k++ {
+			s.mapFree = append(s.mapFree, n)
+		}
+		for k := 0; k < cfg.ReduceSlotsPerNode; k++ {
+			s.redFree = append(s.redFree, n)
+		}
+	}
+	s.slotsTot = len(s.mapFree) + len(s.redFree)
+	return s
+}
+
+// MapSlots returns the total map slot count.
+func (s *Sim) MapSlots() int { return s.cfg.Nodes * s.cfg.MapSlotsPerNode }
+
+// ReduceSlots returns the total reduce slot count.
+func (s *Sim) ReduceSlots() int { return s.cfg.Nodes * s.cfg.ReduceSlotsPerNode }
+
+// Submit schedules a query's arrival.
+func (s *Sim) Submit(q *Query, at float64) {
+	q.ArrivalTime = at
+	s.queries = append(s.queries, q)
+	s.seq++
+	s.events.push(&event{time: at, kind: evArrival, seq: s.seq, query: q})
+}
+
+// Results summarises a completed run.
+type Results struct {
+	SchedulerName string
+	Makespan      float64
+	// Queries in submission order, with completion times filled in.
+	Queries []*Query
+	// Utilization is busy slot-seconds / (slots × makespan). Hoarded
+	// reduce slots count as busy — they are unavailable to other tasks.
+	Utilization float64
+}
+
+// AvgResponseTime returns the mean query response time.
+func (r *Results) AvgResponseTime() float64 {
+	if len(r.Queries) == 0 {
+		return 0
+	}
+	var t float64
+	for _, q := range r.Queries {
+		t += q.ResponseTime()
+	}
+	return t / float64(len(r.Queries))
+}
+
+// PercentileResponse returns the p-quantile (0 < p <= 1) of query response
+// times, by nearest-rank.
+func (r *Results) PercentileResponse(p float64) float64 {
+	if len(r.Queries) == 0 {
+		return 0
+	}
+	resp := make([]float64, len(r.Queries))
+	for i, q := range r.Queries {
+		resp[i] = q.ResponseTime()
+	}
+	sort.Float64s(resp)
+	if p <= 0 {
+		return resp[0]
+	}
+	if p >= 1 {
+		return resp[len(resp)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(resp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return resp[idx]
+}
+
+// Run processes events until all submitted queries complete.
+func (s *Sim) Run() (*Results, error) {
+	for !s.events.empty() {
+		e := s.events.pop()
+		s.now = e.time
+		switch e.kind {
+		case evArrival:
+			s.arrive(e.query)
+		case evFinish:
+			s.finish(e.task, e.node, e.spec)
+		case evWake:
+			// no state change; jobs become ready by time passing
+		}
+		s.dispatch()
+	}
+	for _, q := range s.queries {
+		if !q.Done() {
+			return nil, fmt.Errorf("cluster: query %s did not complete (starvation?)", q.ID)
+		}
+	}
+	res := &Results{SchedulerName: s.sched.Name(), Makespan: s.now, Queries: s.queries}
+	if s.now > 0 {
+		res.Utilization = s.busySec / (float64(s.slotsTot) * s.now)
+	}
+	return res, nil
+}
+
+// arrive submits a query's root jobs.
+func (s *Sim) arrive(q *Query) {
+	for _, j := range q.Jobs {
+		if len(j.DepIDs) == 0 {
+			s.submitJob(j)
+		}
+	}
+}
+
+func (s *Sim) submitJob(j *Job) {
+	j.Submitted = true
+	j.SubmitTime = s.now
+	j.ReadyTime = s.now + s.cfg.JobInitSec
+	s.active = append(s.active, j)
+	if s.cfg.JobInitSec > 0 {
+		s.seq++
+		s.events.push(&event{time: j.ReadyTime, kind: evWake, seq: s.seq})
+	}
+}
+
+// reduceLaunchAllowed reports whether job j may launch another reduce now.
+// Reduces unlock once the slowstart fraction of maps completes, exactly as
+// Hadoop 1.x did — launched reduces then sit on their slots until the map
+// phase ends (the delay-tail behaviour of the paper's [27] and [30]).
+// Across all jobs, at most half the cluster's reduce slots may be hoarded
+// at once, mirroring the reduce-slot caps operators configured to keep
+// clusters live.
+func (s *Sim) reduceLaunchAllowed(j *Job) bool {
+	if j.pendingReds <= 0 {
+		return false
+	}
+	if j.MapsDone() {
+		return true
+	}
+	maps := len(j.Maps)
+	if maps == 0 {
+		return true
+	}
+	need := int(math.Ceil(s.cfg.ReduceSlowstart * float64(maps)))
+	if need < 1 {
+		need = 1
+	}
+	if j.doneMaps < need {
+		return false
+	}
+	// Per-job cap: one job may hoard at most half the reduce slots — the
+	// per-pool reduce caps operators configured. Global floor: a quarter of
+	// the reduce slots always stay available for runnable reduces, keeping
+	// the cluster live under any scheduling policy.
+	slots := s.ReduceSlots()
+	perJob := slots / 2
+	if perJob < 1 {
+		perJob = 1
+	}
+	globalCap := (3 * slots) / 4
+	if globalCap < 1 {
+		globalCap = 1
+	}
+	launched := len(j.Reds) - j.pendingReds
+	return launched < perJob && s.hoarded < globalCap
+}
+
+// finish completes a task attempt, frees its slot, and cascades job/query
+// completion (submitting dependents). With speculative execution a task can
+// have two attempts; the second completion only frees its slot.
+func (s *Sim) finish(t *Task, node int, spec bool) {
+	j := t.Job
+	if t.State == TaskDone {
+		// A slower duplicate attempt finished after the task completed.
+		if t.Reduce {
+			s.redFree = append(s.redFree, node)
+		} else {
+			s.mapFree = append(s.mapFree, node)
+		}
+		return
+	}
+	t.State = TaskDone
+	t.EndTime = s.now
+	t.Speculated = t.Speculated || spec
+	if t.Reduce {
+		j.doneReds++
+		s.redFree = append(s.redFree, node)
+	} else {
+		j.doneMaps++
+		s.mapFree = append(s.mapFree, node)
+		// The map phase just completed: hoarding reduces (launched early,
+		// waiting for shuffle input) can now run to completion.
+		if j.MapsDone() {
+			for _, r := range j.hoarding {
+				// The slot was occupied (but idle) during the hoard window.
+				s.busySec += s.now - r.StartTime
+				s.hoarded--
+				s.scheduleFinish(r)
+			}
+			j.hoarding = nil
+		}
+	}
+	if !j.Done() {
+		return
+	}
+	j.DoneTime = s.now
+	// Remove from active set.
+	for i, a := range s.active {
+		if a == j {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	// Submit dependents whose deps are all done.
+	q := j.Query
+	byID := make(map[string]*Job, len(q.Jobs))
+	for _, jj := range q.Jobs {
+		byID[jj.JobID] = jj
+	}
+	for _, cand := range q.Jobs {
+		if cand.Submitted {
+			continue
+		}
+		ready := true
+		for _, dep := range cand.DepIDs {
+			if !byID[dep].Done() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			s.submitJob(cand)
+		}
+	}
+	if q.Done() {
+		q.DoneTime = s.now
+	}
+}
+
+// scheduleFinish books the completion event for a running task, charging
+// the node speed factor and dispatch overhead.
+func (s *Sim) scheduleFinish(t *Task) {
+	dur := t.ActualSec/s.factors[t.node] + s.cfg.SchedulingOverheadSec
+	s.busySec += dur
+	s.seq++
+	s.events.push(&event{time: s.now + dur, kind: evFinish, seq: s.seq, task: t, node: t.node})
+}
+
+// dispatch assigns runnable tasks to free slots until the scheduler
+// declines or slots run out (work conservation per phase).
+func (s *Sim) dispatch() {
+	// Map slots.
+	for len(s.mapFree) > 0 {
+		cands := s.candidates(false)
+		if len(cands) == 0 {
+			break
+		}
+		j := s.sched.PickJob(s.now, cands, s.active, false)
+		if j == nil {
+			break
+		}
+		t := j.nextPending(false)
+		if t == nil {
+			panic(fmt.Sprintf("cluster: scheduler picked job %s with no pending map", j.ID))
+		}
+		s.start(t, &s.mapFree)
+	}
+	// Reduce slots.
+	for {
+		if len(s.redFree) == 0 && !s.preemptForRunnableReduce() {
+			break
+		}
+		if len(s.redFree) == 0 {
+			break
+		}
+		cands := s.candidates(true)
+		if len(cands) == 0 {
+			break
+		}
+		j := s.sched.PickJob(s.now, cands, s.active, true)
+		if j == nil {
+			break
+		}
+		t := j.nextPending(true)
+		if t == nil {
+			panic(fmt.Sprintf("cluster: scheduler picked job %s with no pending reduce", j.ID))
+		}
+		s.start(t, &s.redFree)
+	}
+	if s.cfg.SpeculativeExecution {
+		s.speculate(false, &s.mapFree)
+		s.speculate(true, &s.redFree)
+	}
+}
+
+// speculate duplicates the slowest running attempt of the given phase onto
+// otherwise-idle slots. The duplicate's completion event races the
+// original's; whichever fires first finishes the task.
+func (s *Sim) speculate(reduce bool, pool *[]int) {
+	for len(*pool) > 0 {
+		var victim *Task
+		var victimEnd float64
+		for _, j := range s.active {
+			tasks := j.Maps
+			if reduce {
+				tasks = j.Reds
+			}
+			for _, t := range tasks {
+				if t.State != TaskRunning || t.speculating {
+					continue
+				}
+				if reduce && !j.MapsDone() {
+					continue // hoarding reduces cannot be sped up by a copy
+				}
+				end := t.StartTime + t.ActualSec/s.factors[t.node]
+				if end <= s.now {
+					continue
+				}
+				if victim == nil || end > victimEnd {
+					victim = t
+					victimEnd = end
+				}
+			}
+		}
+		if victim == nil {
+			return
+		}
+		n := (*pool)[len(*pool)-1]
+		// A duplicate on the same (slow) node cannot help.
+		if n == victim.node && s.cfg.Nodes > 1 {
+			return
+		}
+		dur := victim.ActualSec/s.factors[n] + s.cfg.SchedulingOverheadSec
+		if s.now+dur >= victimEnd {
+			return // the copy would lose the race; don't waste the slot
+		}
+		*pool = (*pool)[:len(*pool)-1]
+		victim.speculating = true
+		s.busySec += dur
+		s.seq++
+		s.events.push(&event{time: s.now + dur, kind: evFinish, seq: s.seq,
+			task: victim, node: n, spec: true})
+	}
+}
+
+// preemptForRunnableReduce implements [30]-style preemption: when no reduce
+// slot is free but some job has shuffle-ready reduces (maps done) pending,
+// evict one hoarding reduce (requeued at no lost work) to free a slot.
+// Returns whether a slot was freed.
+func (s *Sim) preemptForRunnableReduce() bool {
+	if !s.cfg.PreemptiveReduce || s.hoarded == 0 {
+		return false
+	}
+	// Is any shuffle-ready reduce waiting?
+	ready := false
+	for _, j := range s.active {
+		if j.ReadyTime <= s.now && j.MapsDone() && j.pendingReds > 0 {
+			ready = true
+			break
+		}
+	}
+	if !ready {
+		return false
+	}
+	// Evict the most recently launched hoarding reduce (least sunk wait).
+	var victim *Task
+	var owner *Job
+	for _, j := range s.active {
+		for _, t := range j.hoarding {
+			if victim == nil || t.StartTime > victim.StartTime {
+				victim = t
+				owner = j
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	for i, t := range owner.hoarding {
+		if t == victim {
+			owner.hoarding = append(owner.hoarding[:i], owner.hoarding[i+1:]...)
+			break
+		}
+	}
+	// The hoard window occupied the slot; account for it, then requeue.
+	s.busySec += s.now - victim.StartTime
+	victim.State = TaskPending
+	victim.StartTime = 0
+	owner.pendingReds++
+	owner.Query.remainingWRD += victim.PredSec
+	s.hoarded--
+	s.redFree = append(s.redFree, victim.node)
+	return true
+}
+
+// candidates filters ready jobs to those with a runnable task of a phase.
+func (s *Sim) candidates(reduce bool) []*Job {
+	var out []*Job
+	for _, j := range s.active {
+		if j.ReadyTime > s.now {
+			continue
+		}
+		if reduce {
+			if s.reduceLaunchAllowed(j) {
+				out = append(out, j)
+			}
+		} else if j.pendingMaps > 0 {
+			out = append(out, j)
+		}
+	}
+	// Under preemptive reduce scheduling, shuffle-ready jobs take priority
+	// for reduce slots over would-be hoarders.
+	if reduce && s.cfg.PreemptiveReduce {
+		var readyJobs []*Job
+		for _, j := range out {
+			if j.MapsDone() {
+				readyJobs = append(readyJobs, j)
+			}
+		}
+		if len(readyJobs) > 0 {
+			return readyJobs
+		}
+	}
+	return out
+}
+
+// start occupies a slot with a task. Early-launched reduces hoard the slot
+// until their job's map phase completes.
+func (s *Sim) start(t *Task, pool *[]int) {
+	n := (*pool)[len(*pool)-1]
+	*pool = (*pool)[:len(*pool)-1]
+	t.node = n
+	t.State = TaskRunning
+	t.StartTime = s.now
+	j := t.Job
+	if t.Reduce {
+		j.pendingReds--
+	} else {
+		j.pendingMaps--
+	}
+	j.Query.remainingWRD -= t.PredSec
+	if j.Query.remainingWRD < 0 {
+		j.Query.remainingWRD = 0
+	}
+	if t.Reduce && !j.MapsDone() {
+		// Shuffle cannot complete until the maps do: hold the slot.
+		j.hoarding = append(j.hoarding, t)
+		s.hoarded++
+		return
+	}
+	s.scheduleFinish(t)
+}
+
+// JobSpan reports a job's first task start and last task end — the data
+// behind the paper's Figure 2 execution timelines.
+func JobSpan(j *Job) (start, end float64) {
+	start = math.Inf(1)
+	for _, t := range append(append([]*Task{}, j.Maps...), j.Reds...) {
+		if t.State != TaskDone {
+			continue
+		}
+		if t.StartTime < start {
+			start = t.StartTime
+		}
+		if t.EndTime > end {
+			end = t.EndTime
+		}
+	}
+	return start, end
+}

@@ -1,0 +1,117 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"saqp/internal/cluster"
+	"saqp/internal/sched"
+)
+
+// slowNodeConfig: node 0 runs at 60% speed, node 1 at full speed.
+func slowNodeConfig(spec bool) cluster.Config {
+	return cluster.Config{
+		Nodes: 2, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1,
+		NodeFactors:          []float64{0.6, 1.0},
+		SpeculativeExecution: spec,
+	}
+}
+
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	run := func(spec bool) float64 {
+		// Two maps: both start immediately (one per node); the one on the
+		// slow node straggles. With speculation, the fast node's idle slot
+		// re-runs it once its own map finishes.
+		q := synthQuery("q", []jobSpec{{id: "J1", maps: 2, mapSec: 30}})
+		s := cluster.New(slowNodeConfig(spec), sched.HCS{})
+		s.Submit(q, 0)
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return q.ResponseTime()
+	}
+	// At 0.6x the duplicate cannot win the race (original ends at 50s, a
+	// copy started at 30s would end at 60s), so speculation must be a
+	// no-op — never a regression.
+	base := run(false)
+	spec := run(true)
+	if spec != base {
+		t.Fatalf("unwinnable race changed the outcome: %v vs %v", spec, base)
+	}
+	// Sharper case: slow node at 0.3x => original 100s; the duplicate
+	// started at ~30s on the fast node ends at ~60s and wins.
+	run2 := func(spec bool) float64 {
+		q := synthQuery("q", []jobSpec{{id: "J1", maps: 2, mapSec: 30}})
+		cfg := slowNodeConfig(spec)
+		cfg.NodeFactors = []float64{0.3, 1.0}
+		s := cluster.New(cfg, sched.HCS{})
+		s.Submit(q, 0)
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return q.ResponseTime()
+	}
+	b2, s2 := run2(false), run2(true)
+	if s2 >= b2 {
+		t.Fatalf("speculation did not rescue 0.3x straggler: %v vs %v", s2, b2)
+	}
+}
+
+func TestSpeculationNeverLaunchesLosingCopy(t *testing.T) {
+	// A duplicate that cannot beat the original must not be launched: with
+	// node factors {0.9, 1.0} the race is unwinnable once the original has
+	// a head start, so results with and without speculation are identical.
+	run := func(spec bool) float64 {
+		q := synthQuery("q", []jobSpec{{id: "J1", maps: 2, mapSec: 20}})
+		cfg := cluster.Config{Nodes: 2, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1,
+			NodeFactors: []float64{0.9, 1.0}, SpeculativeExecution: spec}
+		s := cluster.New(cfg, sched.HCS{})
+		s.Submit(q, 0)
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return q.ResponseTime()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("losing copy launched: %v vs %v", a, b)
+	}
+}
+
+func TestSpeculationMarksTask(t *testing.T) {
+	q := synthQuery("q", []jobSpec{{id: "J1", maps: 2, mapSec: 30}})
+	cfg := slowNodeConfig(true)
+	cfg.NodeFactors = []float64{0.3, 1.0}
+	s := cluster.New(cfg, sched.HCS{})
+	s.Submit(q, 0)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	speculated := 0
+	for _, task := range q.Jobs[0].Maps {
+		if task.Speculated {
+			speculated++
+		}
+	}
+	if speculated != 1 {
+		t.Fatalf("speculated tasks = %d, want exactly the straggler", speculated)
+	}
+}
+
+func TestSpeculationWorkConservationStillHolds(t *testing.T) {
+	// All tasks complete exactly once even with duplicates racing.
+	q := synthQuery("q", []jobSpec{{id: "J1", maps: 8, reds: 2, mapSec: 10, redSec: 5}})
+	cfg := cluster.Config{Nodes: 3, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		NodeFactors: []float64{0.5, 1.0, 1.1}, SpeculativeExecution: true}
+	s := cluster.New(cfg, sched.HFS{})
+	s.Submit(q, 0)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Done() {
+		t.Fatal("query incomplete")
+	}
+	for _, task := range append(append([]*cluster.Task{}, q.Jobs[0].Maps...), q.Jobs[0].Reds...) {
+		if task.State != cluster.TaskDone {
+			t.Fatal("task left unfinished")
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package cluster is a discrete-event simulator of a Hadoop 1.x cluster:
+// nodes with fixed container slots execute the map and reduce tasks of
+// MapReduce jobs, jobs belong to query DAGs and are submitted when their
+// dependencies complete (Hive's JobListener behaviour, paper Section 2.2),
+// and a pluggable Scheduler decides which pending task each freed container
+// runs next.
+//
+// The simulator replaces the paper's physical 9-node testbed. Task
+// durations come from the hidden trace.CostModel; per-task predicted times
+// (from the paper's multivariate model) ride along so semantics-aware
+// schedulers can compute Weighted Resource Demand without seeing the
+// ground truth.
+package cluster
+
+import (
+	"fmt"
+
+	"saqp/internal/plan"
+	"saqp/internal/selectivity"
+	"saqp/internal/trace"
+)
+
+// TaskState tracks a task through its lifecycle.
+type TaskState uint8
+
+const (
+	// TaskPending tasks await a container.
+	TaskPending TaskState = iota
+	// TaskRunning tasks occupy a container.
+	TaskRunning
+	// TaskDone tasks have finished.
+	TaskDone
+)
+
+// Task is one map or reduce task.
+type Task struct {
+	Job    *Job
+	Reduce bool
+	Index  int
+	// ActualSec is the hidden ground-truth duration at nominal node speed;
+	// the effective duration is ActualSec / nodeFactor.
+	ActualSec float64
+	// PredSec is the duration predicted by the semantics-aware model; the
+	// SWRD scheduler's WRD sums these (Eq. 10).
+	PredSec float64
+
+	State     TaskState
+	StartTime float64
+	EndTime   float64
+	// Speculated records that the task was completed by a speculative
+	// duplicate attempt rather than its original.
+	Speculated bool
+
+	// node is the hosting node index, set at dispatch.
+	node int
+	// speculating marks that a duplicate attempt is already in flight.
+	speculating bool
+}
+
+// Job is one MapReduce job inside a query.
+type Job struct {
+	ID    string // "<query>/<job>"
+	JobID string // plan job ID ("J1")
+	Query *Query
+	Type  plan.JobType
+	Maps  []*Task
+	Reds  []*Task
+	// DepIDs are plan-level IDs of upstream jobs.
+	DepIDs []string
+
+	Submitted  bool
+	SubmitTime float64
+	// ReadyTime is when initialisation completes and tasks may start.
+	ReadyTime float64
+	DoneTime  float64
+
+	pendingMaps int
+	pendingReds int
+	doneMaps    int
+	doneReds    int
+	// hoarding holds reduces launched before the map phase finished; they
+	// occupy reduce slots without progressing until the last map ends.
+	hoarding []*Task
+}
+
+// MapsDone reports whether every map task has finished (reduces runnable).
+func (j *Job) MapsDone() bool { return j.doneMaps == len(j.Maps) }
+
+// Done reports whether the whole job has finished.
+func (j *Job) Done() bool { return j.doneMaps == len(j.Maps) && j.doneReds == len(j.Reds) }
+
+// RunnableTasks counts tasks eligible to start right now.
+func (j *Job) RunnableTasks() int {
+	n := j.pendingMaps
+	if j.MapsDone() {
+		n += j.pendingReds
+	}
+	return n
+}
+
+// RunningTasks counts tasks currently occupying containers.
+func (j *Job) RunningTasks() int {
+	n := 0
+	for _, t := range j.Maps {
+		if t.State == TaskRunning {
+			n++
+		}
+	}
+	for _, t := range j.Reds {
+		if t.State == TaskRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// NextTask returns a pending runnable task, maps first, or nil. Reduces
+// are only offered once the map phase completes; the simulator's slowstart
+// path uses nextPending directly.
+func (j *Job) NextTask() *Task {
+	if j.pendingMaps > 0 {
+		return j.nextPending(false)
+	}
+	if j.MapsDone() && j.pendingReds > 0 {
+		return j.nextPending(true)
+	}
+	return nil
+}
+
+// nextPending returns the first pending task of the given phase.
+func (j *Job) nextPending(reduce bool) *Task {
+	tasks := j.Maps
+	if reduce {
+		tasks = j.Reds
+	}
+	for _, t := range tasks {
+		if t.State == TaskPending {
+			return t
+		}
+	}
+	return nil
+}
+
+// PendingMaps returns the count of maps awaiting dispatch.
+func (j *Job) PendingMaps() int { return j.pendingMaps }
+
+// PendingReduces returns the count of reduces awaiting dispatch.
+func (j *Job) PendingReduces() int { return j.pendingReds }
+
+// Query is a DAG of jobs submitted as one unit.
+type Query struct {
+	ID   string
+	Jobs []*Job
+	// InputBytes is the query's total base-table input (workload binning).
+	InputBytes float64
+
+	ArrivalTime float64
+	DoneTime    float64
+
+	remainingWRD float64
+}
+
+// ResponseTime returns completion minus arrival, or -1 if unfinished.
+func (q *Query) ResponseTime() float64 {
+	if q.DoneTime < q.ArrivalTime {
+		return -1
+	}
+	return q.DoneTime - q.ArrivalTime
+}
+
+// RemainingWRD returns the query's outstanding Weighted Resource Demand
+// (Eq. 10): Σ predicted-map-time × remaining maps + predicted-reduce-time ×
+// remaining reduces, over all jobs not yet started or in flight. It
+// decreases as tasks are dispatched.
+func (q *Query) RemainingWRD() float64 { return q.remainingWRD }
+
+// Done reports whether every job has completed.
+func (q *Query) Done() bool {
+	for _, j := range q.Jobs {
+		if !j.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// ResetPending initialises a job's pending-task counters. BuildQuery calls
+// it automatically; callers constructing jobs by hand (tests, synthetic
+// workloads) must call it before submission.
+func (j *Job) ResetPending() {
+	j.pendingMaps = len(j.Maps)
+	j.pendingReds = len(j.Reds)
+}
+
+// RecomputeWRD recomputes the query's remaining Weighted Resource Demand
+// from the predicted times of its not-yet-dispatched tasks.
+func (q *Query) RecomputeWRD() {
+	q.remainingWRD = 0
+	for _, j := range q.Jobs {
+		for _, t := range j.Maps {
+			if t.State == TaskPending {
+				q.remainingWRD += t.PredSec
+			}
+		}
+		for _, t := range j.Reds {
+			if t.State == TaskPending {
+				q.remainingWRD += t.PredSec
+			}
+		}
+	}
+}
+
+// TaskTimePredictor supplies per-task predicted durations — implemented by
+// the predict package's task model (Eq. 9). Implementations must not
+// consult ground truth.
+type TaskTimePredictor interface {
+	// PredictTask returns seconds for a task of the given operator type,
+	// phase, per-task input/output bytes and join factor P(1-P).
+	PredictTask(op plan.JobType, reduce bool, inBytes, outBytes, pFactor float64) float64
+}
+
+// ConstantPredictor predicts a fixed duration for every task; useful as a
+// semantics-free baseline and in tests.
+type ConstantPredictor float64
+
+// PredictTask returns the constant.
+func (c ConstantPredictor) PredictTask(plan.JobType, bool, float64, float64, float64) float64 {
+	return float64(c)
+}
+
+// BuildQuery turns a selectivity-annotated DAG into a simulator query:
+// per-task input/output volumes are divided evenly across the estimated
+// task counts, ground-truth durations are drawn from the cost model, and
+// predicted durations from the predictor.
+func BuildQuery(id string, qe *selectivity.QueryEstimate, cm *trace.CostModel, pred TaskTimePredictor) *Query {
+	q := &Query{ID: id, InputBytes: qe.TotalInputBytes()}
+	for _, je := range qe.Jobs {
+		j := &Job{
+			ID:    fmt.Sprintf("%s/%s", id, je.Job.ID),
+			JobID: je.Job.ID,
+			Query: q,
+			Type:  je.Job.Type,
+		}
+		for _, dep := range je.Job.Deps {
+			j.DepIDs = append(j.DepIDs, dep.ID)
+		}
+		pf := je.PFactor()
+		groups := je.MapGroups
+		if len(groups) == 0 {
+			nm := je.NumMaps
+			if nm < 1 {
+				nm = 1
+			}
+			groups = []selectivity.TaskGroup{{
+				Count:    nm,
+				InBytes:  je.InBytes / float64(nm),
+				OutBytes: je.MedBytes / float64(nm),
+			}}
+		}
+		for _, g := range groups {
+			for i := 0; i < g.Count; i++ {
+				spec := trace.TaskSpec{Op: j.Type, InBytes: g.InBytes, OutBytes: g.OutBytes}
+				t := &Task{
+					Job: j, Index: len(j.Maps),
+					ActualSec: cm.Duration(spec),
+					PredSec:   pred.PredictTask(j.Type, false, g.InBytes, g.OutBytes, pf),
+				}
+				j.Maps = append(j.Maps, t)
+			}
+		}
+		rgroups := je.ReduceGroups
+		if len(rgroups) == 0 && je.NumReduces > 0 {
+			nr := je.NumReduces
+			rgroups = []selectivity.TaskGroup{{
+				Count:    nr,
+				InBytes:  je.MedBytes / float64(nr),
+				OutBytes: je.OutBytes / float64(nr),
+			}}
+		}
+		for _, g := range rgroups {
+			for i := 0; i < g.Count; i++ {
+				spec := trace.TaskSpec{Op: j.Type, Reduce: true, InBytes: g.InBytes, OutBytes: g.OutBytes}
+				t := &Task{
+					Job: j, Reduce: true, Index: len(j.Reds),
+					ActualSec: cm.Duration(spec),
+					PredSec:   pred.PredictTask(j.Type, true, g.InBytes, g.OutBytes, pf),
+				}
+				j.Reds = append(j.Reds, t)
+			}
+		}
+		j.pendingMaps = len(j.Maps)
+		j.pendingReds = len(j.Reds)
+		q.Jobs = append(q.Jobs, j)
+	}
+	for _, j := range q.Jobs {
+		for _, t := range j.Maps {
+			q.remainingWRD += t.PredSec
+		}
+		for _, t := range j.Reds {
+			q.remainingWRD += t.PredSec
+		}
+	}
+	return q
+}

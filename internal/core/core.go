@@ -1,0 +1,82 @@
+// Package core implements the paper's cross-layer semantics percolation
+// (Section 2.2): the bridge that carries query-level semantics from the
+// Hive-style compiler down to the Hadoop-style scheduler.
+//
+// In stock Hive/Hadoop, a job arrives at the scheduler as an opaque unit —
+// "all the query-level semantics are lost when Hadoop receives a job from
+// Hive". Percolation attaches, to every job submitted for execution:
+//
+//   - the query DAG and inter-job dependencies,
+//   - the estimated data flow (D_in/D_med/D_out from Section 3), and
+//   - per-task predicted times from the multivariate model (Section 4),
+//     from which the scheduler computes Weighted Resource Demand (Eq. 10).
+//
+// The scheduler-visible predictions are always derived from the
+// *estimator's* statistics — never from ground truth — so scheduling
+// quality inherits both selectivity-estimation error and time-model error,
+// as it would in a real deployment.
+package core
+
+import (
+	"saqp/internal/cluster"
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+	"saqp/internal/selectivity"
+	"saqp/internal/trace"
+)
+
+// planJobType shortens the operator type in predictor signatures.
+type planJobType = plan.JobType
+
+// Percolated is a query ready for submission: a simulator query whose
+// tasks carry ground-truth durations (drawn by the hidden cost model from
+// the oracle estimate) and semantics-aware predicted times (derived from
+// the estimator-visible estimate).
+type Percolated struct {
+	// Query is the scheduler-facing object.
+	Query *cluster.Query
+	// Estimate is the estimator-visible (not ground-truth) estimate whose
+	// semantics were percolated.
+	Estimate *selectivity.QueryEstimate
+	// PredictedWRD is the query's Eq. 10 demand as the scheduler sees it.
+	PredictedWRD float64
+}
+
+// Percolate attaches estimator-derived semantics to a query destined for
+// the cluster:
+//
+//   - truth sizes the tasks and draws their hidden ground-truth durations;
+//   - est drives the per-task time predictions the scheduler may consult.
+//
+// Task counts can differ slightly between the two estimates (they come
+// from different statistics resolutions), so per-task predictions are
+// rescaled to preserve the estimator's total WRD: the scheduler's view
+// sums to exactly what the semantics-aware model predicts.
+func Percolate(id string, truth, est *selectivity.QueryEstimate,
+	cm *trace.CostModel, tm *predict.TaskModel) *Percolated {
+	var pred cluster.TaskTimePredictor = cluster.ConstantPredictor(1)
+	wrdEst := 0.0
+	if tm != nil {
+		wrdEst = tm.WRD(est)
+		wrdTruth := tm.WRD(truth)
+		f := 1.0
+		if wrdTruth > 0 && wrdEst > 0 {
+			f = wrdEst / wrdTruth
+		}
+		pred = scaledPredictor{tm: tm, factor: f}
+	}
+	q := cluster.BuildQuery(id, truth, cm, pred)
+	return &Percolated{Query: q, Estimate: est, PredictedWRD: wrdEst}
+}
+
+// scaledPredictor scales a task model's predictions by a fixed factor,
+// translating oracle-sized tasks into estimator-consistent totals.
+type scaledPredictor struct {
+	tm     *predict.TaskModel
+	factor float64
+}
+
+// PredictTask implements cluster.TaskTimePredictor.
+func (s scaledPredictor) PredictTask(op planJobType, reduce bool, in, out, pf float64) float64 {
+	return s.factor * s.tm.PredictTask(op, reduce, in, out, pf)
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"saqp/internal/catalog"
+	"saqp/internal/cluster"
+	"saqp/internal/core"
+	"saqp/internal/dataset"
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+	"saqp/internal/query"
+	"saqp/internal/sched"
+	"saqp/internal/selectivity"
+	"saqp/internal/trace"
+	"saqp/internal/workload"
+)
+
+// estimates compiles a query and estimates it at two statistics
+// resolutions, like the experiment drivers do.
+func estimates(t *testing.T, src string, sf float64) (truth, est *selectivity.QueryEstimate) {
+	t.Helper()
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Resolve(q, dataset.AllSchemas()); err != nil {
+		t.Fatal(err)
+	}
+	d, err := plan.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []*dataset.Schema
+	for _, s := range dataset.AllSchemas() {
+		list = append(list, s)
+	}
+	mk := func(buckets int) *selectivity.QueryEstimate {
+		cat := catalog.FromSchemas(list, sf, buckets)
+		qe, err := selectivity.NewEstimator(cat, selectivity.Config{}).EstimateQuery(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qe
+	}
+	return mk(1024), mk(64)
+}
+
+func trainedTaskModel(t *testing.T) *predict.TaskModel {
+	t.Helper()
+	cfg := workload.DefaultCorpusConfig()
+	cfg.NumQueries = 40
+	c, err := workload.BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := predict.FitTaskModel(c.TaskSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+const sql = `SELECT c_mktsegment, sum(o_totalprice) FROM customer
+	JOIN orders ON o_custkey = c_custkey WHERE o_orderdate < 9200
+	GROUP BY c_mktsegment`
+
+func TestPercolateCarriesEstimatorWRD(t *testing.T) {
+	truth, est := estimates(t, sql, 5)
+	tm := trainedTaskModel(t)
+	cm := trace.NewDefaultCostModel(3)
+	p := core.Percolate("q1", truth, est, cm, tm)
+
+	// The scheduler-visible WRD must equal the estimator-side prediction,
+	// not the oracle's.
+	if math.Abs(p.PredictedWRD-tm.WRD(est))/tm.WRD(est) > 1e-9 {
+		t.Fatalf("percolated WRD %v != estimator WRD %v", p.PredictedWRD, tm.WRD(est))
+	}
+	// And the query's task-level PredSec totals agree with it.
+	var sum float64
+	for _, j := range p.Query.Jobs {
+		for _, task := range j.Maps {
+			sum += task.PredSec
+		}
+		for _, task := range j.Reds {
+			sum += task.PredSec
+		}
+	}
+	if math.Abs(sum-p.PredictedWRD)/p.PredictedWRD > 0.01 {
+		t.Fatalf("task predictions sum to %v, want %v", sum, p.PredictedWRD)
+	}
+	if math.Abs(p.Query.RemainingWRD()-p.PredictedWRD)/p.PredictedWRD > 0.01 {
+		t.Fatalf("query remaining WRD %v, want %v", p.Query.RemainingWRD(), p.PredictedWRD)
+	}
+}
+
+func TestPercolateTasksSizedByTruth(t *testing.T) {
+	truth, est := estimates(t, sql, 5)
+	tm := trainedTaskModel(t)
+	cm := trace.NewDefaultCostModel(3)
+	p := core.Percolate("q1", truth, est, cm, tm)
+	for i, je := range truth.Jobs {
+		j := p.Query.Jobs[i]
+		if len(j.Maps) != je.NumMaps || len(j.Reds) != je.NumReduces {
+			t.Fatalf("job %s tasks %d/%d, truth says %d/%d",
+				j.JobID, len(j.Maps), len(j.Reds), je.NumMaps, je.NumReduces)
+		}
+	}
+}
+
+func TestPercolateWithoutModel(t *testing.T) {
+	truth, est := estimates(t, sql, 2)
+	cm := trace.NewDefaultCostModel(3)
+	p := core.Percolate("q1", truth, est, cm, nil)
+	if p.PredictedWRD != 0 {
+		t.Fatalf("WRD without model = %v", p.PredictedWRD)
+	}
+	// The query must still be schedulable end to end.
+	sim := cluster.New(cluster.DefaultConfig(), sched.SWRD{})
+	sim.Submit(p.Query, 0)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Query.Done() {
+		t.Fatal("query did not finish")
+	}
+}
+
+func TestPercolatedQueryRunsUnderEveryPolicy(t *testing.T) {
+	truth, est := estimates(t, sql, 5)
+	tm := trainedTaskModel(t)
+	for _, pol := range []cluster.Scheduler{sched.HCS{}, sched.HFS{}, sched.SWRD{}} {
+		cm := trace.NewDefaultCostModel(3)
+		p := core.Percolate("q1", truth, est, cm, tm)
+		sim := cluster.New(cluster.DefaultConfig(), pol)
+		sim.Submit(p.Query, 0)
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%s: empty run", pol.Name())
+		}
+	}
+}

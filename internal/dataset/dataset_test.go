@@ -1,0 +1,289 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Supplier(), 0.01, 7)
+	b := Generate(Supplier(), 0.01, 7)
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !a.Rows[i][j].Equal(b.Rows[i][j]) {
+				t.Fatalf("row %d col %d differ: %v vs %v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedSensitive(t *testing.T) {
+	a := Generate(Supplier(), 0.01, 1)
+	b := Generate(Supplier(), 0.01, 2)
+	diff := false
+	for i := range a.Rows {
+		// s_nationkey (index 2) is random; sequential cols will match.
+		if !a.Rows[i][2].Equal(b.Rows[i][2]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical random columns")
+	}
+}
+
+func TestRowCountsMatchSchema(t *testing.T) {
+	for _, s := range TPCH() {
+		rel := Generate(s, 0.001, 3)
+		if rel.NumRows() != s.RowsAt(0.001) {
+			t.Fatalf("%s: got %d rows, schema says %d", s.Name, rel.NumRows(), s.RowsAt(0.001))
+		}
+	}
+}
+
+func TestFixedTablesIgnoreScale(t *testing.T) {
+	if Nation().RowsAt(100) != 25 || Region().RowsAt(100) != 5 {
+		t.Fatal("fixed tables scaled with sf")
+	}
+	if DateDim().RowsAt(50) != 73_049 {
+		t.Fatal("date_dim scaled with sf")
+	}
+}
+
+func TestScaledMonotone(t *testing.T) {
+	li := LineItem()
+	if li.RowsAt(1) != 6_000_000 {
+		t.Fatalf("lineitem at sf=1: %d", li.RowsAt(1))
+	}
+	if li.RowsAt(0.5) >= li.RowsAt(1) {
+		t.Fatal("RowsAt not monotone in sf")
+	}
+	if li.RowsAt(1e-9) < 1 {
+		t.Fatal("RowsAt dropped below 1 row")
+	}
+}
+
+func TestCardinalityRespected(t *testing.T) {
+	rel := Generate(LineItem(), 0.002, 11)
+	idx := rel.Schema.ColumnIndex("l_quantity")
+	distinct := map[string]bool{}
+	for _, row := range rel.Rows {
+		distinct[row[idx].Key()] = true
+	}
+	if len(distinct) > 50 {
+		t.Fatalf("l_quantity has %d distinct values, cap is 50", len(distinct))
+	}
+	if len(distinct) < 40 {
+		t.Fatalf("l_quantity has only %d distinct values at %d rows", len(distinct), rel.NumRows())
+	}
+}
+
+func TestDomainBounds(t *testing.T) {
+	rel := Generate(LineItem(), 0.002, 13)
+	qidx := rel.Schema.ColumnIndex("l_quantity")
+	didx := rel.Schema.ColumnIndex("l_shipdate")
+	for _, row := range rel.Rows {
+		q := row[qidx].I
+		if q < 1 || q > 50 {
+			t.Fatalf("l_quantity %d out of [1,50]", q)
+		}
+		d := row[didx].I
+		if d < dateEpochDays || d >= dateEpochDays+2_526 {
+			t.Fatalf("l_shipdate %d out of domain", d)
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	// FK values of lineitem.l_orderkey must all exist in orders.o_orderkey
+	// at the same scale factor.
+	const sf = 0.002
+	orders := Generate(Orders(), sf, 5)
+	li := Generate(LineItem(), sf, 5)
+	pk := map[int64]bool{}
+	oidx := orders.Schema.ColumnIndex("o_orderkey")
+	for _, row := range orders.Rows {
+		pk[row[oidx].I] = true
+	}
+	lidx := li.Schema.ColumnIndex("l_orderkey")
+	for _, row := range li.Rows {
+		if !pk[row[lidx].I] {
+			t.Fatalf("dangling FK l_orderkey=%d", row[lidx].I)
+		}
+	}
+}
+
+func TestClusteredColumnIsClustered(t *testing.T) {
+	rel := Generate(LineItem(), 0.002, 9)
+	idx := rel.Schema.ColumnIndex("l_orderkey")
+	adjacent := 0
+	for i := 1; i < len(rel.Rows); i++ {
+		if rel.Rows[i][idx].I == rel.Rows[i-1][idx].I {
+			adjacent++
+		}
+	}
+	if adjacent < len(rel.Rows)/4 {
+		t.Fatalf("l_orderkey shows only %d adjacent-equal pairs over %d rows", adjacent, len(rel.Rows))
+	}
+}
+
+func TestStringWidths(t *testing.T) {
+	rel := Generate(Customer(), 0.005, 21)
+	idx := rel.Schema.ColumnIndex("c_mktsegment")
+	for _, row := range rel.Rows {
+		if len(row[idx].S) != 10 {
+			t.Fatalf("c_mktsegment width %d, want 10", len(row[idx].S))
+		}
+	}
+}
+
+func TestAvgTupleWidth(t *testing.T) {
+	s := Nation()
+	// 8 (key) + 12 (name) + 8 (regionkey) + 70 (comment)
+	if w := s.AvgTupleWidth(); w != 98 {
+		t.Fatalf("nation avg tuple width = %d, want 98", w)
+	}
+	rel := Generate(s, 1, 2)
+	avg := float64(rel.Bytes()) / float64(rel.NumRows())
+	if avg != 98 {
+		t.Fatalf("materialised avg width = %v, want 98", avg)
+	}
+}
+
+func TestBytesAtScalesLinearly(t *testing.T) {
+	li := LineItem()
+	if li.BytesAt(2) != 2*li.BytesAt(1) {
+		t.Fatalf("BytesAt not linear: %d vs %d", li.BytesAt(2), 2*li.BytesAt(1))
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := Orders()
+	if s.Column("o_orderdate") == nil {
+		t.Fatal("Column lookup failed")
+	}
+	if s.Column("nope") != nil {
+		t.Fatal("Column lookup returned ghost column")
+	}
+	if s.ColumnIndex("o_custkey") != 1 {
+		t.Fatalf("ColumnIndex(o_custkey) = %d", s.ColumnIndex("o_custkey"))
+	}
+	if s.ColumnIndex("nope") != -1 {
+		t.Fatal("ColumnIndex for missing column should be -1")
+	}
+}
+
+func TestAllSchemasComplete(t *testing.T) {
+	m := AllSchemas()
+	for _, name := range []string{"region", "nation", "supplier", "customer",
+		"part", "partsupp", "orders", "lineitem",
+		"item", "date_dim", "store", "store_sales", "web_sales"} {
+		if m[name] == nil {
+			t.Fatalf("missing schema %q", name)
+		}
+	}
+	if len(m) != 13 {
+		t.Fatalf("AllSchemas has %d entries, want 13", len(m))
+	}
+}
+
+func TestValueOps(t *testing.T) {
+	if !Int(3).Less(Int(4)) || Int(4).Less(Int(3)) {
+		t.Fatal("Int Less broken")
+	}
+	if !Str("a").Less(Str("b")) {
+		t.Fatal("Str Less broken")
+	}
+	if !Float(1.5).Equal(Float(1.5)) || Float(1.5).Equal(Float(2)) {
+		t.Fatal("Float Equal broken")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Fatal("cross-kind Equal should be false")
+	}
+	if Int(1).Width() != 8 || Str("abc").Width() != 3 {
+		t.Fatal("Width broken")
+	}
+	r := Row{Int(1), Str("xy")}
+	if r.Width() != 10 {
+		t.Fatalf("Row width = %d, want 10", r.Width())
+	}
+	c := r.Clone()
+	c[0] = Int(9)
+	if r[0].I != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestValueKeyUniqueProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return (a == b) == (Int(a).Key() == Int(b).Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainValueRoundTrip(t *testing.T) {
+	c := LineItem().Column("l_quantity")
+	v := DomainValue(c, 10)
+	if v.I != 11 { // Lo=1 + k=10
+		t.Fatalf("DomainValue = %v, want 11", v.I)
+	}
+}
+
+func TestMakeStringTruncates(t *testing.T) {
+	s := makeString("very_long_column_name", 123456789, 8)
+	if len(s) != 8 {
+		t.Fatalf("truncated string has width %d", len(s))
+	}
+}
+
+func TestMakeStringInjective(t *testing.T) {
+	// The key->string mapping must stay injective at every width the
+	// schemas use, up to each width's representable cardinality.
+	for _, width := range []int{1, 2, 7, 10, 12, 20} {
+		limit := int64(2000)
+		seen := map[string]int64{}
+		for k := int64(0); k < limit; k++ {
+			if width == 1 && k >= 36 {
+				break
+			}
+			if width == 2 && k >= 36*36 {
+				break
+			}
+			s := makeString("l_shipmode", k, width)
+			if len(s) != width {
+				t.Fatalf("width %d: len(%q) = %d", width, s, len(s))
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("width %d: keys %d and %d collide on %q", width, prev, k, s)
+			}
+			seen[s] = k
+		}
+	}
+}
+
+func TestLowWidthStringColumnsDistinct(t *testing.T) {
+	// Regression: l_returnflag (width 1, card 3) must have 3 values, not 1.
+	rel := Generate(LineItem(), 0.002, 31)
+	idx := rel.Schema.ColumnIndex("l_returnflag")
+	seen := map[string]bool{}
+	for _, r := range rel.Rows {
+		seen[r[idx].S] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("l_returnflag distinct = %d, want 3", len(seen))
+	}
+	mi := rel.Schema.ColumnIndex("l_shipmode")
+	seenM := map[string]bool{}
+	for _, r := range rel.Rows {
+		seenM[r[mi].S] = true
+	}
+	if len(seenM) != 7 {
+		t.Fatalf("l_shipmode distinct = %d, want 7", len(seenM))
+	}
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"saqp/internal/sim"
+)
+
+// Generate materialises a relation for the given schema at scale factor sf,
+// deterministically from seed. Two calls with identical arguments produce
+// identical relations. Column streams are seeded independently (by table
+// and column name), so adding a column never perturbs the others.
+//
+// Materialisation is intended for laptop-scale factors (sf <= ~0.1); large
+// experiment scales are handled analytically via Schema.RowsAt/BytesAt and
+// the catalog statistics, mirroring how the paper's estimator never scans
+// full tables at run time.
+func Generate(s *Schema, sf float64, seed uint64) *Relation {
+	n := int(s.RowsAt(sf))
+	rel := &Relation{Schema: s, Rows: make([]Row, n)}
+	cols := make([][]Value, len(s.Columns))
+	for ci := range s.Columns {
+		cols[ci] = generateColumn(&s.Columns[ci], n, sf, columnSeed(seed, s.Name, s.Columns[ci].Name))
+	}
+	for i := 0; i < n; i++ {
+		row := make(Row, len(s.Columns))
+		for ci := range cols {
+			row[ci] = cols[ci][i]
+		}
+		rel.Rows[i] = row
+	}
+	return rel
+}
+
+// columnSeed derives a per-column seed from the master seed and names.
+func columnSeed(seed uint64, table, column string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(table))
+	h.Write([]byte{'.'})
+	h.Write([]byte(column))
+	return seed ^ h.Sum64()
+}
+
+// generateColumn produces n values for one column.
+func generateColumn(c *Column, n int, sf float64, seed uint64) []Value {
+	rng := sim.New(seed)
+	card := c.Card(sf)
+	if card < 1 {
+		card = 1
+	}
+	keys := make([]int64, n)
+	switch c.Dist {
+	case DistSequential:
+		for i := range keys {
+			keys[i] = int64(i) % card
+		}
+	case DistUniform:
+		for i := range keys {
+			keys[i] = rng.Int63n(card)
+		}
+	case DistZipf:
+		skew := c.Skew
+		if skew <= 1 {
+			skew = 1.2
+		}
+		z := sim.NewZipf(rng, skew, 1, uint64(card))
+		for i := range keys {
+			keys[i] = int64(z.Uint64())
+		}
+	case DistClustered:
+		copy(keys, sim.ClusteredKeys(rng, n, card))
+	}
+	vals := make([]Value, n)
+	for i, k := range keys {
+		vals[i] = materialize(c, k)
+	}
+	return vals
+}
+
+// materialize turns an integer domain key into a concrete column value.
+func materialize(c *Column, k int64) Value {
+	switch c.Kind {
+	case KindInt:
+		return Int(c.Lo + k)
+	case KindDate:
+		return Date(c.Lo + k)
+	case KindFloat:
+		return Float(float64(c.Lo) + float64(k)*0.01)
+	case KindString:
+		return Str(makeString(c.Name, k, c.AvgWidth()))
+	}
+	return Value{}
+}
+
+// makeString builds a deterministic string of exactly width bytes encoding
+// domain key k. The mapping is injective for any width w as long as the
+// column's cardinality stays within 36^w, so distinct counts hold by
+// construction:
+//
+//   - narrow columns get the base-36 key alone (right-truncated to the
+//     low-order digits, which are unique within the domain);
+//   - wider columns get "<prefix>#<digits>" padded with '~' — a character
+//     outside both the prefix alphabet and base-36 — so the key decodes
+//     unambiguously regardless of prefix truncation.
+func makeString(prefix string, k int64, width int) string {
+	digits := strconv.FormatInt(k, 36)
+	if len(digits) >= width {
+		return digits[len(digits)-width:]
+	}
+	maxPrefix := width - len(digits) - 1
+	p := prefix
+	if len(p) > maxPrefix {
+		p = p[:maxPrefix]
+	}
+	var b strings.Builder
+	b.Grow(width)
+	b.WriteString(p)
+	b.WriteByte('#')
+	b.WriteString(digits)
+	for b.Len() < width {
+		b.WriteByte('~')
+	}
+	return b.String()
+}
+
+// DomainValue returns the concrete value for domain key k of column c —
+// the inverse mapping used by query generators to build predicates with a
+// known target selectivity (e.g. "l_quantity < v" covering 30% of the
+// domain).
+func DomainValue(c *Column, k int64) Value { return materialize(c, k) }

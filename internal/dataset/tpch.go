@@ -1,0 +1,170 @@
+package dataset
+
+// The TPC-H schema, sized per the official specification: at scale factor
+// sf the row counts are SF-proportional except the fixed nation and region
+// tables. Column cardinalities and distributions follow the spec closely
+// enough to exercise every selectivity case in the paper's Section 3:
+// clustered keys (lineitem.l_orderkey), uniform FKs per the spec, and
+// PK–FK referential integrity (skewed FKs live in the TPC-DS tables)
+// for the natural-join chain of Eq. 6.
+
+func fixed(n int64) func(float64) int64 {
+	return func(float64) int64 { return n }
+}
+
+func scaled(n int64) func(float64) int64 {
+	return func(sf float64) int64 {
+		v := int64(float64(n)*sf + 0.5)
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+}
+
+// dateEpochDays is Jan 1 1992 in days-since-1970, the start of the TPC-H
+// date domain.
+const dateEpochDays = 8036
+
+// Region returns the TPC-H region table schema.
+func Region() *Schema {
+	return &Schema{
+		Name:   "region",
+		RowsAt: fixed(5),
+		Columns: []Column{
+			{Name: "r_regionkey", Kind: KindInt, Card: fixed(5), Dist: DistSequential},
+			{Name: "r_name", Kind: KindString, Width: 12, Card: fixed(5), Dist: DistUniform},
+			{Name: "r_comment", Kind: KindString, Width: 60, Card: fixed(5), Dist: DistUniform},
+		},
+	}
+}
+
+// Nation returns the TPC-H nation table schema.
+func Nation() *Schema {
+	return &Schema{
+		Name:   "nation",
+		RowsAt: fixed(25),
+		Columns: []Column{
+			{Name: "n_nationkey", Kind: KindInt, Card: fixed(25), Dist: DistSequential},
+			{Name: "n_name", Kind: KindString, Width: 12, Card: fixed(25), Dist: DistSequential},
+			{Name: "n_regionkey", Kind: KindInt, Card: fixed(5), Dist: DistUniform, Ref: "region.r_regionkey"},
+			{Name: "n_comment", Kind: KindString, Width: 70, Card: fixed(25), Dist: DistUniform},
+		},
+	}
+}
+
+// Supplier returns the TPC-H supplier table schema.
+func Supplier() *Schema {
+	return &Schema{
+		Name:   "supplier",
+		RowsAt: scaled(10_000),
+		Columns: []Column{
+			{Name: "s_suppkey", Kind: KindInt, Card: scaled(10_000), Dist: DistSequential},
+			{Name: "s_name", Kind: KindString, Width: 18, Card: scaled(10_000), Dist: DistSequential},
+			{Name: "s_nationkey", Kind: KindInt, Card: fixed(25), Dist: DistUniform, Ref: "nation.n_nationkey"},
+			{Name: "s_acctbal", Kind: KindFloat, Card: fixed(1_100_000), Lo: -1000, Dist: DistUniform},
+			{Name: "s_comment", Kind: KindString, Width: 60, Card: scaled(10_000), Dist: DistUniform},
+		},
+	}
+}
+
+// Customer returns the TPC-H customer table schema.
+func Customer() *Schema {
+	return &Schema{
+		Name:   "customer",
+		RowsAt: scaled(150_000),
+		Columns: []Column{
+			{Name: "c_custkey", Kind: KindInt, Card: scaled(150_000), Dist: DistSequential},
+			{Name: "c_name", Kind: KindString, Width: 18, Card: scaled(150_000), Dist: DistSequential},
+			{Name: "c_nationkey", Kind: KindInt, Card: fixed(25), Dist: DistUniform, Ref: "nation.n_nationkey"},
+			{Name: "c_acctbal", Kind: KindFloat, Card: fixed(1_100_000), Lo: -1000, Dist: DistUniform},
+			{Name: "c_mktsegment", Kind: KindString, Width: 10, Card: fixed(5), Dist: DistUniform},
+			{Name: "c_comment", Kind: KindString, Width: 70, Card: scaled(150_000), Dist: DistUniform},
+		},
+	}
+}
+
+// Part returns the TPC-H part table schema.
+func Part() *Schema {
+	return &Schema{
+		Name:   "part",
+		RowsAt: scaled(200_000),
+		Columns: []Column{
+			{Name: "p_partkey", Kind: KindInt, Card: scaled(200_000), Dist: DistSequential},
+			{Name: "p_name", Kind: KindString, Width: 32, Card: scaled(200_000), Dist: DistSequential},
+			{Name: "p_brand", Kind: KindString, Width: 10, Card: fixed(25), Dist: DistUniform},
+			{Name: "p_type", Kind: KindString, Width: 20, Card: fixed(150), Dist: DistUniform},
+			{Name: "p_size", Kind: KindInt, Card: fixed(50), Lo: 1, Dist: DistUniform},
+			{Name: "p_container", Kind: KindString, Width: 10, Card: fixed(40), Dist: DistUniform},
+			{Name: "p_retailprice", Kind: KindFloat, Card: fixed(110_000), Lo: 900, Dist: DistUniform},
+		},
+	}
+}
+
+// PartSupp returns the TPC-H partsupp table schema.
+func PartSupp() *Schema {
+	return &Schema{
+		Name:   "partsupp",
+		RowsAt: scaled(800_000),
+		Columns: []Column{
+			{Name: "ps_partkey", Kind: KindInt, Card: scaled(200_000), Dist: DistClustered, Ref: "part.p_partkey"},
+			{Name: "ps_suppkey", Kind: KindInt, Card: scaled(10_000), Dist: DistUniform, Ref: "supplier.s_suppkey"},
+			{Name: "ps_availqty", Kind: KindInt, Card: fixed(9_999), Lo: 1, Dist: DistUniform},
+			{Name: "ps_supplycost", Kind: KindFloat, Card: fixed(100_000), Lo: 1, Dist: DistUniform},
+			{Name: "ps_comment", Kind: KindString, Width: 120, Card: scaled(800_000), Dist: DistUniform},
+		},
+	}
+}
+
+// Orders returns the TPC-H orders table schema.
+func Orders() *Schema {
+	return &Schema{
+		Name:   "orders",
+		RowsAt: scaled(1_500_000),
+		Columns: []Column{
+			{Name: "o_orderkey", Kind: KindInt, Card: scaled(1_500_000), Dist: DistSequential},
+			{Name: "o_custkey", Kind: KindInt, Card: scaled(150_000), Dist: DistUniform, Ref: "customer.c_custkey"},
+			{Name: "o_orderstatus", Kind: KindString, Width: 1, Card: fixed(3), Dist: DistUniform},
+			{Name: "o_totalprice", Kind: KindFloat, Card: fixed(1_500_000), Lo: 800, Dist: DistUniform},
+			{Name: "o_orderdate", Kind: KindDate, Card: fixed(2_406), Lo: dateEpochDays, Dist: DistUniform},
+			{Name: "o_orderpriority", Kind: KindString, Width: 12, Card: fixed(5), Dist: DistUniform},
+			{Name: "o_shippriority", Kind: KindInt, Card: fixed(1), Dist: DistUniform},
+			{Name: "o_comment", Kind: KindString, Width: 48, Card: scaled(1_500_000), Dist: DistUniform},
+		},
+	}
+}
+
+// LineItem returns the TPC-H lineitem table schema. l_orderkey is clustered:
+// the line items of one order are physically adjacent, exactly the layout
+// that makes the paper's clustered-combine selectivity (Eq. 2, first case)
+// apply.
+func LineItem() *Schema {
+	return &Schema{
+		Name:   "lineitem",
+		RowsAt: scaled(6_000_000),
+		Columns: []Column{
+			{Name: "l_orderkey", Kind: KindInt, Card: scaled(1_500_000), Dist: DistClustered, Ref: "orders.o_orderkey"},
+			{Name: "l_partkey", Kind: KindInt, Card: scaled(200_000), Dist: DistUniform, Ref: "part.p_partkey"},
+			{Name: "l_suppkey", Kind: KindInt, Card: scaled(10_000), Dist: DistUniform, Ref: "supplier.s_suppkey"},
+			{Name: "l_quantity", Kind: KindInt, Card: fixed(50), Lo: 1, Dist: DistUniform},
+			{Name: "l_extendedprice", Kind: KindFloat, Card: fixed(1_000_000), Lo: 900, Dist: DistUniform},
+			{Name: "l_discount", Kind: KindFloat, Card: fixed(11), Dist: DistUniform},
+			{Name: "l_tax", Kind: KindFloat, Card: fixed(9), Dist: DistUniform},
+			{Name: "l_returnflag", Kind: KindString, Width: 1, Card: fixed(3), Dist: DistUniform},
+			{Name: "l_linestatus", Kind: KindString, Width: 1, Card: fixed(2), Dist: DistUniform},
+			{Name: "l_shipdate", Kind: KindDate, Card: fixed(2_526), Lo: dateEpochDays, Dist: DistUniform},
+			{Name: "l_commitdate", Kind: KindDate, Card: fixed(2_466), Lo: dateEpochDays + 30, Dist: DistUniform},
+			{Name: "l_receiptdate", Kind: KindDate, Card: fixed(2_554), Lo: dateEpochDays + 1, Dist: DistUniform},
+			{Name: "l_shipmode", Kind: KindString, Width: 7, Card: fixed(7), Dist: DistUniform},
+			{Name: "l_comment", Kind: KindString, Width: 26, Card: scaled(6_000_000), Dist: DistUniform},
+		},
+	}
+}
+
+// TPCH returns the eight TPC-H table schemas.
+func TPCH() []*Schema {
+	return []*Schema{
+		Region(), Nation(), Supplier(), Customer(),
+		Part(), PartSupp(), Orders(), LineItem(),
+	}
+}

@@ -1,0 +1,202 @@
+package histogram
+
+import (
+	"errors"
+	"sort"
+)
+
+// EquiDepth is an equal-mass histogram: every bucket holds (approximately)
+// the same number of rows, with data-dependent boundaries. The paper chose
+// equi-*width* histograms (following Piatetsky-Shapiro & Connell and Bell
+// et al.); this type exists to quantify that design decision — equi-depth
+// buckets adapt to skew for predicate selectivity but lose the fixed bucket
+// alignment that makes the paper's bucket-wise join estimate (Eq. 5) cheap.
+type EquiDepth struct {
+	// Bounds has len(Buckets)+1 entries; bucket i covers
+	// [Bounds[i], Bounds[i+1]) (the last bucket is closed on the right).
+	Bounds  []float64
+	Buckets []Bucket
+}
+
+// ErrNoData is returned when an equi-depth histogram cannot be built.
+var ErrNoData = errors.New("histogram: no values to build from")
+
+// BuildEquiDepth constructs an n-bucket equal-mass histogram from a value
+// sample. Duplicate-heavy data may yield fewer than n distinct boundaries;
+// buckets are merged as needed.
+func BuildEquiDepth(values []float64, n int) (*EquiDepth, error) {
+	if len(values) == 0 {
+		return nil, ErrNoData
+	}
+	if n <= 0 {
+		n = 1
+	}
+	sorted := append([]float64{}, values...)
+	sort.Float64s(sorted)
+	total := len(sorted)
+	if n > total {
+		n = total
+	}
+	h := &EquiDepth{}
+	start := 0
+	for b := 0; b < n; b++ {
+		end := (b + 1) * total / n
+		if end <= start {
+			continue
+		}
+		// Extend the bucket so a value never straddles a boundary.
+		for end < total && sorted[end] == sorted[end-1] {
+			end++
+		}
+		seg := sorted[start:end]
+		distinct := 1.0
+		for i := 1; i < len(seg); i++ {
+			if seg[i] != seg[i-1] {
+				distinct++
+			}
+		}
+		h.Bounds = append(h.Bounds, seg[0])
+		h.Buckets = append(h.Buckets, Bucket{Count: float64(len(seg)), Distinct: distinct})
+		start = end
+		if end >= total {
+			break
+		}
+	}
+	// Final right bound: just past the maximum so it lands inside.
+	h.Bounds = append(h.Bounds, sorted[total-1]+ulpStep(sorted[total-1]))
+	return h, nil
+}
+
+// ulpStep returns a small positive increment relative to v's magnitude.
+func ulpStep(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	if v < 1 {
+		return 1e-9
+	}
+	return v * 1e-12
+}
+
+// Rows returns the total row mass.
+func (h *EquiDepth) Rows() float64 {
+	var t float64
+	for _, b := range h.Buckets {
+		t += b.Count
+	}
+	return t
+}
+
+// bucketOf locates the bucket covering v, or -1 when out of range.
+func (h *EquiDepth) bucketOf(v float64) int {
+	if v < h.Bounds[0] || v >= h.Bounds[len(h.Bounds)-1] {
+		return -1
+	}
+	i := sort.SearchFloat64s(h.Bounds, v)
+	// SearchFloat64s returns the first index with Bounds[i] >= v.
+	if i < len(h.Bounds) && h.Bounds[i] == v {
+		if i == len(h.Buckets) {
+			return i - 1
+		}
+		return i
+	}
+	return i - 1
+}
+
+// SelectivityLT estimates the fraction of rows with value < x.
+func (h *EquiDepth) SelectivityLT(x float64) float64 {
+	total := h.Rows()
+	if total == 0 {
+		return 0
+	}
+	if x <= h.Bounds[0] {
+		return 0
+	}
+	if x >= h.Bounds[len(h.Bounds)-1] {
+		return 1
+	}
+	var rows float64
+	for i, b := range h.Buckets {
+		lo, hi := h.Bounds[i], h.Bounds[i+1]
+		switch {
+		case x >= hi:
+			rows += b.Count
+		case x > lo && hi > lo:
+			rows += b.Count * (x - lo) / (hi - lo)
+		}
+	}
+	return clamp01(rows / total)
+}
+
+// SelectivityEQ estimates the fraction of rows equal to x.
+func (h *EquiDepth) SelectivityEQ(x float64) float64 {
+	total := h.Rows()
+	i := h.bucketOf(x)
+	if total == 0 || i < 0 {
+		return 0
+	}
+	b := h.Buckets[i]
+	if b.Distinct == 0 {
+		return 0
+	}
+	return clamp01(b.Count / b.Distinct / total)
+}
+
+// SelectivityBetween estimates the fraction of rows with lo <= value < hi.
+func (h *EquiDepth) SelectivityBetween(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return clamp01(h.SelectivityLT(hi) - h.SelectivityLT(lo))
+}
+
+// ToWidth converts the histogram onto an equi-width grid over [lo, hi),
+// enabling the bucket-aligned join arithmetic of Eq. 5. The conversion
+// spreads each depth bucket uniformly over its span — exactly the
+// information loss the paper avoids by building equi-width directly.
+func (h *EquiDepth) ToWidth(lo, hi float64, n int) *Histogram {
+	out := New(lo, hi, n)
+	for i, b := range h.Buckets {
+		bLo, bHi := h.Bounds[i], h.Bounds[i+1]
+		if bHi <= bLo {
+			continue
+		}
+		spreadUniform(out, bLo, bHi, b)
+	}
+	for j := range out.Buckets {
+		if out.Buckets[j].Distinct > out.Buckets[j].Count {
+			out.Buckets[j].Distinct = out.Buckets[j].Count
+		}
+	}
+	return out
+}
+
+// spreadUniform adds bucket b covering [bLo,bHi) into the equi-width grid.
+func spreadUniform(out *Histogram, bLo, bHi float64, b Bucket) {
+	w := out.width()
+	for j := range out.Buckets {
+		oLo := out.Lo + float64(j)*w
+		oHi := oLo + w
+		overlap := minF(bHi, oHi) - maxF(bLo, oLo)
+		if overlap <= 0 {
+			continue
+		}
+		frac := overlap / (bHi - bLo)
+		out.Buckets[j].Count += b.Count * frac
+		out.Buckets[j].Distinct += b.Distinct * frac
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,471 @@
+// Package histogram implements the equi-width histograms with per-bucket
+// distinct counts that the paper builds offline over table attributes
+// (Section 3.1, citing Piatetsky-Shapiro & Connell for predicate
+// selectivity and Bell et al. for the piece-wise-uniform join estimator of
+// Eq. 5). Within a bucket, values are assumed uniformly distributed over
+// the bucket's distinct values — the paper's "piece-wise uniform"
+// assumption.
+//
+// Counts are float64: histograms double as *estimated* distributions that
+// get scaled and filtered as statistics propagate along a query DAG, where
+// fractional row masses are meaningful.
+package histogram
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Bucket is one equi-width cell: the row mass falling in it and the number
+// of distinct values that mass carries.
+type Bucket struct {
+	Count    float64 `json:"count"`
+	Distinct float64 `json:"distinct"`
+}
+
+// Histogram is an equi-width histogram over a numeric domain [Lo, Hi).
+// The zero value is not usable; construct with Build, Synthesize or New.
+type Histogram struct {
+	Lo      float64  `json:"lo"`
+	Hi      float64  `json:"hi"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// New returns an empty histogram with n buckets over [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func New(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("histogram: bucket count must be positive")
+	}
+	if hi <= lo {
+		panic("histogram: hi must exceed lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]Bucket, n)}
+}
+
+// Build constructs an n-bucket equi-width histogram from a value sample.
+// Values outside [lo, hi) are clamped into the boundary buckets, matching
+// how offline statistics tolerate slightly stale domain bounds.
+func Build(values []float64, lo, hi float64, n int) *Histogram {
+	h := New(lo, hi, n)
+	distinct := make([]map[float64]struct{}, n)
+	for i := range distinct {
+		distinct[i] = make(map[float64]struct{})
+	}
+	for _, v := range values {
+		b := h.bucketOf(v)
+		h.Buckets[b].Count++
+		distinct[b][v] = struct{}{}
+	}
+	for i := range h.Buckets {
+		h.Buckets[i].Distinct = float64(len(distinct[i]))
+	}
+	return h
+}
+
+// Synthesize constructs a histogram analytically — without scanning rows —
+// for a column with `rows` rows spread over `card` distinct values in
+// [lo, lo+card). This is how statistics are produced for experiment scales
+// too large to materialise.
+//
+// weights, if non-nil, gives the relative row mass of each bucket and must
+// have length n; distinct values are still spread evenly across buckets.
+func Synthesize(rows, card int64, lo float64, n int, weights []float64) *Histogram {
+	if card < 1 {
+		card = 1
+	}
+	h := New(lo, lo+float64(card), n)
+	if weights != nil && len(weights) != n {
+		panic("histogram: weights length must equal bucket count")
+	}
+	var wsum float64
+	if weights != nil {
+		for _, w := range weights {
+			wsum += w
+		}
+	}
+	perBucketCard := float64(card) / float64(n)
+	for i := 0; i < n; i++ {
+		share := 1 / float64(n)
+		if weights != nil && wsum > 0 {
+			share = weights[i] / wsum
+		}
+		cnt := float64(rows) * share
+		crd := perBucketCard
+		if crd > cnt {
+			crd = cnt
+		}
+		if crd < 1 && cnt >= 1 {
+			crd = 1
+		}
+		h.Buckets[i] = Bucket{Count: cnt, Distinct: crd}
+	}
+	return h
+}
+
+// bucketOf returns the bucket index covering v, clamped to the edges.
+func (h *Histogram) bucketOf(v float64) int {
+	n := len(h.Buckets)
+	if v < h.Lo {
+		return 0
+	}
+	if v >= h.Hi {
+		return n - 1
+	}
+	i := int(float64(n) * (v - h.Lo) / (h.Hi - h.Lo))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// width returns one bucket's domain width.
+func (h *Histogram) width() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Buckets))
+}
+
+// Rows returns the total row mass in the histogram.
+func (h *Histogram) Rows() float64 {
+	var t float64
+	for _, b := range h.Buckets {
+		t += b.Count
+	}
+	return t
+}
+
+// DistinctTotal returns the summed per-bucket distinct counts — an upper
+// bound on (and for integer-keyed equi-width buckets, exactly) the column's
+// distinct cardinality.
+func (h *Histogram) DistinctTotal() float64 {
+	var t float64
+	for _, b := range h.Buckets {
+		t += b.Distinct
+	}
+	return t
+}
+
+// SelectivityLT estimates the fraction of rows with value < x, assuming
+// uniform spread within the partially-covered bucket.
+func (h *Histogram) SelectivityLT(x float64) float64 {
+	total := h.Rows()
+	if total == 0 {
+		return 0
+	}
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return 1
+	}
+	w := h.width()
+	var rows float64
+	for i, b := range h.Buckets {
+		bLo := h.Lo + float64(i)*w
+		bHi := bLo + w
+		switch {
+		case x >= bHi:
+			rows += b.Count
+		case x > bLo:
+			rows += b.Count * (x - bLo) / w
+		}
+	}
+	return clamp01(rows / total)
+}
+
+// SelectivityGE estimates the fraction of rows with value >= x.
+func (h *Histogram) SelectivityGE(x float64) float64 {
+	return clamp01(1 - h.SelectivityLT(x))
+}
+
+// SelectivityBetween estimates the fraction of rows with lo <= value < hi.
+func (h *Histogram) SelectivityBetween(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return clamp01(h.SelectivityLT(hi) - h.SelectivityLT(lo))
+}
+
+// SelectivityEQ estimates the fraction of rows equal to x: the covering
+// bucket's count split evenly over its distinct values.
+func (h *Histogram) SelectivityEQ(x float64) float64 {
+	total := h.Rows()
+	if total == 0 || x < h.Lo || x >= h.Hi {
+		return 0
+	}
+	b := h.Buckets[h.bucketOf(x)]
+	if b.Count == 0 || b.Distinct == 0 {
+		return 0
+	}
+	return clamp01(b.Count / b.Distinct / total)
+}
+
+// SelectivityNE estimates the fraction of rows not equal to x.
+func (h *Histogram) SelectivityNE(x float64) float64 {
+	return clamp01(1 - h.SelectivityEQ(x))
+}
+
+// ErrMisaligned is returned when two histograms cannot be combined
+// bucket-by-bucket.
+var ErrMisaligned = errors.New("histogram: domains or bucket counts differ")
+
+// Aligned reports whether h and o share domain bounds and bucket count, the
+// precondition for the bucket-wise join estimate.
+func (h *Histogram) Aligned(o *Histogram) bool {
+	return len(h.Buckets) == len(o.Buckets) && h.Lo == o.Lo && h.Hi == o.Hi
+}
+
+// JoinSize estimates |T1 ⋈ T2| on this attribute via the paper's Eq. 5:
+//
+//	|T1 ⋈ T2| = Σ_i |T1i| × |T2i| / max(T1i.d, T2i.d)
+//
+// under the piece-wise uniform assumption. Both histograms must be aligned.
+func (h *Histogram) JoinSize(o *Histogram) (float64, error) {
+	if !h.Aligned(o) {
+		return 0, ErrMisaligned
+	}
+	var total float64
+	for i := range h.Buckets {
+		a, b := h.Buckets[i], o.Buckets[i]
+		d := math.Max(a.Distinct, b.Distinct)
+		if d < 1 {
+			if a.Count == 0 || b.Count == 0 {
+				continue
+			}
+			d = 1
+		}
+		total += a.Count * b.Count / d
+	}
+	return total, nil
+}
+
+// Join returns the estimated histogram of the join result on the join key:
+// per bucket, count_i = |T1i|·|T2i|/max(d) and, per the paper's identity
+// (T1i ⋈ T2i).d = min(T1i.d, T2i.d), distinct_i = min(d1, d2). The result
+// feeds shared-key joins over three or more tables.
+func (h *Histogram) Join(o *Histogram) (*Histogram, error) {
+	if !h.Aligned(o) {
+		return nil, ErrMisaligned
+	}
+	out := New(h.Lo, h.Hi, len(h.Buckets))
+	for i := range h.Buckets {
+		a, b := h.Buckets[i], o.Buckets[i]
+		d := math.Max(a.Distinct, b.Distinct)
+		if d < 1 {
+			if a.Count == 0 || b.Count == 0 {
+				continue
+			}
+			d = 1
+		}
+		out.Buckets[i] = Bucket{
+			Count:    a.Count * b.Count / d,
+			Distinct: math.Min(a.Distinct, b.Distinct),
+		}
+	}
+	return out, nil
+}
+
+// Scale returns a copy with all row masses multiplied by f. Distinct
+// counts follow the Cardenas/Yao estimate when f < 1 — keeping a fraction
+// f of the rows retains d·(1−(1−f)^(count/d)) of the d values, which stays
+// near d while every value still has surviving rows — and are unchanged
+// when f >= 1 (repeating rows adds no new values).
+func (h *Histogram) Scale(f float64) *Histogram {
+	if f < 0 {
+		f = 0
+	}
+	out := New(h.Lo, h.Hi, len(h.Buckets))
+	for i, b := range h.Buckets {
+		c := b.Count * f
+		d := b.Distinct
+		if f < 1 {
+			d = YaoDistinct(b.Distinct, b.Count, f)
+		}
+		if d > c {
+			d = c
+		}
+		out.Buckets[i] = Bucket{Count: c, Distinct: d}
+	}
+	return out
+}
+
+// YaoDistinct estimates how many of d distinct values survive keeping a
+// uniform fraction f of `rows` rows (Cardenas/Yao):
+//
+//	E[d'] = d · (1 − (1 − f)^(rows/d))
+func YaoDistinct(d, rows, f float64) float64 {
+	if d <= 0 || rows <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return d
+	}
+	if f <= 0 {
+		return 0
+	}
+	return d * (1 - math.Pow(1-f, rows/d))
+}
+
+// CmpOp mirrors the comparison operators Filter supports.
+type CmpOp uint8
+
+// Comparison operators for Filter.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// Filter returns the histogram restricted to rows whose value satisfies
+// (value op x), assuming uniform spread within buckets. Unlike Scale, this
+// reshapes the distribution: a filter on the column itself zeroes buckets
+// outside the range — essential when the filtered column is later used as
+// a join key.
+func (h *Histogram) Filter(op CmpOp, x float64) *Histogram {
+	out := New(h.Lo, h.Hi, len(h.Buckets))
+	w := h.width()
+	for i, b := range h.Buckets {
+		bLo := h.Lo + float64(i)*w
+		bHi := bLo + w
+		frac := overlapFraction(op, x, bLo, bHi, b)
+		c := b.Count * frac
+		d := b.Distinct * frac
+		if op == CmpEQ && frac > 0 {
+			d = math.Min(b.Distinct, 1)
+		}
+		if d > c {
+			d = c
+		}
+		out.Buckets[i] = Bucket{Count: c, Distinct: d}
+	}
+	return out
+}
+
+// overlapFraction computes the fraction of bucket [bLo,bHi) passing op-x.
+func overlapFraction(op CmpOp, x, bLo, bHi float64, b Bucket) float64 {
+	span := bHi - bLo
+	ltFrac := 0.0
+	switch {
+	case x <= bLo:
+		ltFrac = 0
+	case x >= bHi:
+		ltFrac = 1
+	default:
+		ltFrac = (x - bLo) / span
+	}
+	eqFrac := 0.0
+	if x >= bLo && x < bHi && b.Distinct >= 1 {
+		eqFrac = 1 / b.Distinct
+	}
+	switch op {
+	case CmpLT:
+		return ltFrac
+	case CmpLE:
+		return clamp01(ltFrac + eqFrac)
+	case CmpGE:
+		return clamp01(1 - ltFrac)
+	case CmpGT:
+		return clamp01(1 - ltFrac - eqFrac)
+	case CmpEQ:
+		return eqFrac
+	case CmpNE:
+		return clamp01(1 - eqFrac)
+	}
+	return 1
+}
+
+// Rebucket redistributes the histogram onto a new aligned grid with n
+// buckets over [lo, hi), assuming uniform spread within each old bucket.
+// It allows joining attributes whose offline histograms were built with
+// different granularities.
+func (h *Histogram) Rebucket(lo, hi float64, n int) *Histogram {
+	out := New(lo, hi, n)
+	ow := h.width()
+	w := out.width()
+	for i, b := range h.Buckets {
+		if b.Count == 0 && b.Distinct == 0 {
+			continue
+		}
+		bLo := h.Lo + float64(i)*ow
+		bHi := bLo + ow
+		for j := range out.Buckets {
+			oLo := out.Lo + float64(j)*w
+			oHi := oLo + w
+			overlap := math.Min(bHi, oHi) - math.Max(bLo, oLo)
+			if overlap <= 0 {
+				continue
+			}
+			frac := overlap / (bHi - bLo)
+			out.Buckets[j].Count += b.Count * frac
+			out.Buckets[j].Distinct += b.Distinct * frac
+		}
+	}
+	// Mass falling outside [lo,hi) is clamped to the edge buckets.
+	if h.Lo < lo || h.Hi > hi {
+		clampInto(out, h, lo, hi)
+	}
+	for j := range out.Buckets {
+		if out.Buckets[j].Distinct > out.Buckets[j].Count {
+			out.Buckets[j].Distinct = out.Buckets[j].Count
+		}
+	}
+	return out
+}
+
+// clampInto adds the mass of h outside [lo,hi) into out's edge buckets.
+func clampInto(out, h *Histogram, lo, hi float64) {
+	ow := h.width()
+	for i, b := range h.Buckets {
+		bLo := h.Lo + float64(i)*ow
+		bHi := bLo + ow
+		if bHi <= lo {
+			out.Buckets[0].Count += b.Count
+			out.Buckets[0].Distinct += b.Distinct
+		} else if bLo < lo && bHi > lo {
+			frac := (lo - bLo) / (bHi - bLo)
+			out.Buckets[0].Count += b.Count * frac
+			out.Buckets[0].Distinct += b.Distinct * frac
+		}
+		last := len(out.Buckets) - 1
+		if bLo >= hi {
+			out.Buckets[last].Count += b.Count
+			out.Buckets[last].Distinct += b.Distinct
+		} else if bHi > hi && bLo < hi {
+			frac := (bHi - hi) / (bHi - bLo)
+			out.Buckets[last].Count += b.Count * frac
+			out.Buckets[last].Distinct += b.Distinct * frac
+		}
+	}
+}
+
+// Encode serialises the histogram to JSON — the stand-in for the paper's
+// "histograms stored on HDFS".
+func (h *Histogram) Encode() ([]byte, error) {
+	return json.Marshal(h)
+}
+
+// Decode parses a histogram previously produced by Encode.
+func Decode(data []byte) (*Histogram, error) {
+	var h Histogram
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("histogram: decode: %w", err)
+	}
+	if len(h.Buckets) == 0 || h.Hi <= h.Lo {
+		return nil, errors.New("histogram: decoded histogram is malformed")
+	}
+	return &h, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

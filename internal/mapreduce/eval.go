@@ -1,0 +1,157 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"saqp/internal/dataset"
+	"saqp/internal/query"
+)
+
+// evalPred evaluates one column-vs-literal predicate against a row.
+func evalPred(v dataset.Value, p query.Predicate) bool {
+	if p.Op == query.OpIN {
+		for _, lit := range p.Set {
+			if lit.IsString {
+				if v.S == lit.S {
+					return true
+				}
+			} else if v.Num() == lit.F {
+				return true
+			}
+		}
+		return false
+	}
+	if p.Lit.IsString {
+		return cmpStrings(v.S, p.Lit.S, p.Op)
+	}
+	return cmpFloats(v.Num(), p.Lit.F, p.Op)
+}
+
+func cmpFloats(a, b float64, op query.CmpOp) bool {
+	switch op {
+	case query.OpEQ:
+		return a == b
+	case query.OpNE:
+		return a != b
+	case query.OpLT:
+		return a < b
+	case query.OpLE:
+		return a <= b
+	case query.OpGT:
+		return a > b
+	case query.OpGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpStrings(a, b string, op query.CmpOp) bool {
+	switch op {
+	case query.OpEQ:
+		return a == b
+	case query.OpNE:
+		return a != b
+	case query.OpLT:
+		return a < b
+	case query.OpLE:
+		return a <= b
+	case query.OpGT:
+		return a > b
+	case query.OpGE:
+		return a >= b
+	}
+	return false
+}
+
+// evalExpr computes a projection expression over a frame row.
+func evalExpr(f *Frame, row dataset.Row, e query.Expr) (float64, error) {
+	if e.Binop == nil {
+		i := f.Col(e.Col.String())
+		if i < 0 {
+			return 0, fmt.Errorf("mapreduce: column %s not in frame", e.Col)
+		}
+		return row[i].Num(), nil
+	}
+	li, ri := f.Col(e.Binop.Left.String()), f.Col(e.Binop.Right.String())
+	if li < 0 || ri < 0 {
+		return 0, fmt.Errorf("mapreduce: expression %s references missing columns", e)
+	}
+	l, r := row[li].Num(), row[ri].Num()
+	switch e.Binop.Op {
+	case query.ArithMul:
+		return l * r, nil
+	case query.ArithAdd:
+		return l + r, nil
+	case query.ArithSub:
+		return l - r, nil
+	case query.ArithDiv:
+		if r == 0 {
+			return 0, nil
+		}
+		return l / r, nil
+	}
+	return 0, fmt.Errorf("mapreduce: unknown arithmetic op")
+}
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	fn    query.AggFunc
+	sum   float64
+	count int64
+	min   float64
+	max   float64
+	init  bool
+}
+
+func newAggState(fn query.AggFunc) *aggState { return &aggState{fn: fn} }
+
+func (a *aggState) add(v float64) {
+	a.sum += v
+	a.count++
+	if !a.init || v < a.min {
+		a.min = v
+	}
+	if !a.init || v > a.max {
+		a.max = v
+	}
+	a.init = true
+}
+
+// addCount is used for count(*) where no value is evaluated.
+func (a *aggState) addCount(n int64) { a.count += n; a.init = true }
+
+// merge combines a partial (combiner) state into a.
+func (a *aggState) merge(o *aggState) {
+	if !o.init {
+		return
+	}
+	a.sum += o.sum
+	a.count += o.count
+	if !a.init || o.min < a.min {
+		a.min = o.min
+	}
+	if !a.init || o.max > a.max {
+		a.max = o.max
+	}
+	a.init = true
+}
+
+// value renders the final aggregate value.
+func (a *aggState) value() dataset.Value {
+	switch a.fn {
+	case query.AggSum:
+		return dataset.Float(a.sum)
+	case query.AggCount:
+		return dataset.Int(a.count)
+	case query.AggAvg:
+		if a.count == 0 {
+			return dataset.Float(0)
+		}
+		return dataset.Float(a.sum / float64(a.count))
+	case query.AggMin:
+		return dataset.Float(a.min)
+	case query.AggMax:
+		return dataset.Float(a.max)
+	}
+	return dataset.Float(0)
+}

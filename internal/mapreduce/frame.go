@@ -1,0 +1,74 @@
+// Package mapreduce is an in-memory MapReduce engine that actually executes
+// compiled query DAGs over materialised relations: map tasks filter and
+// project in parallel, Groupby jobs run per-map combines, the shuffle
+// hash-partitions by key, and reduce tasks join, aggregate or sort.
+//
+// In the paper this role is played by the Hadoop cluster itself. The engine
+// exists so that selectivity estimates can be validated against *measured*
+// intermediate and output sizes (|Med|, |Out|) rather than against the
+// estimator's own assumptions, and so examples run real queries end to end.
+package mapreduce
+
+import (
+	"fmt"
+
+	"saqp/internal/dataset"
+)
+
+// Frame is a materialised intermediate result: named, qualified columns
+// plus rows. It plays the role of one job's HDFS output directory.
+type Frame struct {
+	// Cols are qualified column names ("table.column", or synthetic names
+	// like "J3.agg0" for aggregate outputs).
+	Cols []string
+	Rows []dataset.Row
+
+	index map[string]int
+}
+
+// NewFrame builds a frame with the given columns and rows.
+func NewFrame(cols []string, rows []dataset.Row) *Frame {
+	f := &Frame{Cols: cols, Rows: rows}
+	f.reindex()
+	return f
+}
+
+func (f *Frame) reindex() {
+	f.index = make(map[string]int, len(f.Cols))
+	for i, c := range f.Cols {
+		f.index[c] = i
+	}
+}
+
+// Col returns the index of a qualified column name, or -1.
+func (f *Frame) Col(name string) int {
+	if f.index == nil {
+		f.reindex()
+	}
+	if i, ok := f.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumRows returns the row count.
+func (f *Frame) NumRows() int64 { return int64(len(f.Rows)) }
+
+// Bytes returns the total encoded size of the frame's rows.
+func (f *Frame) Bytes() int64 {
+	var t int64
+	for _, r := range f.Rows {
+		t += int64(r.Width())
+	}
+	return t
+}
+
+// Validate checks that every row has exactly one value per column.
+func (f *Frame) Validate() error {
+	for i, r := range f.Rows {
+		if len(r) != len(f.Cols) {
+			return fmt.Errorf("mapreduce: row %d has %d values for %d columns", i, len(r), len(f.Cols))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package mapreduce
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"saqp/internal/catalog"
+	"saqp/internal/selectivity"
+)
+
+// TestEstimatorAgainstEngine is the package's keystone test: the
+// selectivity estimator (paper Section 3) is validated against data sizes
+// *measured* by actually executing the same queries in the engine over the
+// same generated data. This is the honest version of the paper's Figure 5
+// walk-through: estimates must track ground truth, not assumptions.
+func TestEstimatorAgainstEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping engine cross-validation in -short mode")
+	}
+	e := newTestEngine(t)
+	cat := fixtureCatalog()
+	// Match the engine's block size so N_maps (and thus the random-key
+	// combine estimate of Eq. 2) line up.
+	est := selectivity.NewEstimator(cat, selectivity.Config{BlockSize: 64 << 10})
+
+	cases := []struct {
+		name string
+		src  string
+		// outTol and isTol are relative error tolerances for the sink job's
+		// output rows and each job's IS.
+		outTol float64
+	}{
+		{"filter", `SELECT l_orderkey FROM lineitem WHERE l_quantity < 11`, 0.05},
+		{"filter-float", `SELECT l_orderkey FROM lineitem WHERE l_extendedprice >= 3000`, 0.05},
+		{"groupby-clustered", `SELECT l_orderkey, count(*) FROM lineitem GROUP BY l_orderkey`, 0.05},
+		{"groupby-random", `SELECT l_partkey, count(*) FROM lineitem GROUP BY l_partkey`, 0.10},
+		{"groupby-filtered", `SELECT l_quantity, sum(l_extendedprice) FROM lineitem WHERE l_shipdate < 9500 GROUP BY l_quantity`, 0.05},
+		{"join-pkfk", `SELECT c_name FROM customer JOIN orders ON o_custkey = c_custkey`, 0.15},
+		{"join-filtered", `SELECT s_name FROM nation JOIN supplier ON s_nationkey = n_nationkey AND n_nationkey < 5`, 0.25},
+		{"join-zipf", `SELECT i_brand FROM item JOIN store_sales ON ss_item_sk = i_item_sk`, 0.30},
+		{"sort-limit", `SELECT s_suppkey FROM supplier ORDER BY s_suppkey LIMIT 50`, 0.001},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := compile(t, tc.src)
+			qe, err := est.EstimateQuery(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.RunQuery(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := d.Sink().ID
+			gotRows := float64(res.Stats[sink].OutRows)
+			estRows := qe.ByID[sink].OutRows
+			if re := relErrF(estRows, gotRows); re > tc.outTol {
+				t.Errorf("sink out rows: est %.0f vs measured %.0f (rel err %.3f > %.3f)",
+					estRows, gotRows, re, tc.outTol)
+			}
+			// IS must agree within loose tolerance for every job.
+			for id, je := range qe.ByID {
+				meas := res.Stats[id].IS()
+				if meas == 0 && je.IS == 0 {
+					continue
+				}
+				if re := relErrF(je.IS, meas); re > 0.35 {
+					t.Errorf("job %s IS: est %.4f vs measured %.4f (rel err %.3f)",
+						id, je.IS, meas, re)
+				}
+			}
+		})
+	}
+}
+
+// TestQ11EndToEnd validates the paper's full Section 3.2 example against
+// execution: selectivity percolates the 96%-style predicate through two
+// joins and a groupby, and the estimate tracks measured sizes.
+func TestQ11EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping engine cross-validation in -short mode")
+	}
+	e := newTestEngine(t)
+	est := selectivity.NewEstimator(fixtureCatalog(), selectivity.Config{BlockSize: 64 << 10})
+	src := `SELECT ps_partkey, sum(ps_supplycost*ps_availqty)
+		FROM nation n JOIN supplier s ON s.s_nationkey = n.n_nationkey AND n.n_name <> 'n_name#b~~~~'
+		JOIN partsupp ps ON ps.ps_suppkey = s.s_suppkey
+		GROUP BY ps_partkey`
+	d := compile(t, src)
+	qe, err := est.EstimateQuery(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunQuery(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"J1", "J2", "J3"} {
+		est, meas := qe.ByID[id].OutRows, float64(res.Stats[id].OutRows)
+		if re := relErrF(est, meas); re > 0.15 {
+			t.Errorf("%s out rows: est %.0f vs measured %.0f (rel err %.3f)", id, est, meas, re)
+		}
+	}
+}
+
+var (
+	fixtureCatOnce sync.Once
+	fixtureCat     *catalog.Catalog
+)
+
+// fixtureCatalog scans the shared fixture relations once.
+func fixtureCatalog() *catalog.Catalog {
+	fixtureCatOnce.Do(func() {
+		fixtureCat = catalog.New()
+		for _, rel := range fixtureRelations() {
+			fixtureCat.Put(catalog.Collect(rel, 64))
+		}
+	})
+	return fixtureCat
+}
+
+func relErrF(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

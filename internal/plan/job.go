@@ -1,0 +1,221 @@
+// Package plan compiles resolved queries into directed acyclic graphs of
+// MapReduce jobs, mirroring how Hive produces physical execution plans
+// (paper Section 2): left-deep chains of Join jobs, a Groupby job for
+// aggregation, and Extract jobs for sorting/limits. The DAG carries the
+// query semantics — operators, predicates, projected columns, join keys —
+// that the paper's "cross-layer semantics percolation" forwards to the
+// scheduler.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"saqp/internal/query"
+)
+
+// JobType is the paper's three-way job categorisation (Section 3.1): the
+// major operator of the job determines how selectivities are estimated.
+type JobType uint8
+
+const (
+	// Extract jobs scan/filter/project/sort one input (orderby, limit and
+	// all remaining major operators).
+	Extract JobType = iota
+	// Groupby jobs aggregate on grouping keys, with map-side combines.
+	Groupby
+	// Join jobs merge two inputs on equi-join keys.
+	Join
+)
+
+// String returns the category name.
+func (t JobType) String() string {
+	switch t {
+	case Extract:
+		return "Extract"
+	case Groupby:
+		return "Groupby"
+	case Join:
+		return "Join"
+	}
+	return fmt.Sprintf("JobType(%d)", uint8(t))
+}
+
+// TableScan is a base-table input of a job: which table is read, the local
+// predicates pushed down to its scan, and the columns actually needed
+// (projection pruning) — the inputs of S_pred and S_proj.
+type TableScan struct {
+	Table string
+	// Preds are the conjunctive local filters applied during the scan.
+	Preds []query.Predicate
+	// Columns are the attribute names required downstream.
+	Columns []string
+}
+
+// Job is one MapReduce job in a query plan.
+type Job struct {
+	// ID is unique within the DAG ("J1", "J2", ...).
+	ID string
+	// Type is the major-operator category.
+	Type JobType
+	// Scans lists base tables read by this job's map phase (0, 1 or 2).
+	Scans []TableScan
+	// Deps are upstream jobs whose output this job reads.
+	Deps []*Job
+	// JoinLeft and JoinRight are the equi-join key columns for Join jobs.
+	JoinLeft, JoinRight query.ColumnRef
+	// GroupKeys are the grouping columns for Groupby jobs.
+	GroupKeys []query.ColumnRef
+	// Aggs are the aggregate output items for Groupby jobs.
+	Aggs []query.SelectItem
+	// Having are post-aggregation filters applied in the reduce phase of
+	// Groupby jobs.
+	Having []query.HavingPred
+	// OrderKeys are the sort columns for sorting Extract jobs.
+	OrderKeys []query.OrderItem
+	// Limit is the row limit for Extract jobs (-1 if absent).
+	Limit int64
+	// Output lists the column names this job emits (for width accounting).
+	Output []string
+	// MapOnly marks jobs with no reduce phase (pure filter/project, or a
+	// broadcast map-side join).
+	MapOnly bool
+	// Broadcast names the small table loaded into every map task of a
+	// map-side join ("" otherwise) — the Hive MAPJOIN the paper lists
+	// among its minor operators.
+	Broadcast string
+	// MapJoins lists broadcast joins folded into this job's map phase:
+	// Hive merges a map-only join into its consumer job, which is how the
+	// paper's Q14 ("QA") runs as two jobs (AGG, Sort) rather than three.
+	// They apply in order, before the job's own operator.
+	MapJoins []MapJoinSpec
+}
+
+// MapJoinSpec is one broadcast join executed inside a job's map phase.
+type MapJoinSpec struct {
+	// BroadcastScan reads the small table (with its pushed-down filters).
+	BroadcastScan TableScan
+	// JoinLeft and JoinRight are the equi-join key columns; one side lives
+	// in the broadcast table, the other in the job's main input.
+	JoinLeft, JoinRight query.ColumnRef
+}
+
+// Label renders a short human-readable description ("J2:Join(lineitem)").
+func (j *Job) Label() string {
+	var parts []string
+	for _, s := range j.Scans {
+		parts = append(parts, s.Table)
+	}
+	for _, d := range j.Deps {
+		parts = append(parts, d.ID)
+	}
+	return fmt.Sprintf("%s:%s(%s)", j.ID, j.Type, strings.Join(parts, ","))
+}
+
+// DAG is the compiled execution plan of one query.
+type DAG struct {
+	// Jobs are in a valid topological (submission) order.
+	Jobs []*Job
+	// Query is the resolved source query.
+	Query *query.Query
+}
+
+// Sink returns the terminal job (the last job of the DAG).
+func (d *DAG) Sink() *Job {
+	if len(d.Jobs) == 0 {
+		return nil
+	}
+	return d.Jobs[len(d.Jobs)-1]
+}
+
+// Roots returns the jobs with no upstream dependencies.
+func (d *DAG) Roots() []*Job {
+	var roots []*Job
+	for _, j := range d.Jobs {
+		if len(j.Deps) == 0 {
+			roots = append(roots, j)
+		}
+	}
+	return roots
+}
+
+// Dependents returns a map from job ID to the jobs that consume it.
+func (d *DAG) Dependents() map[string][]*Job {
+	out := make(map[string][]*Job, len(d.Jobs))
+	for _, j := range d.Jobs {
+		for _, dep := range j.Deps {
+			out[dep.ID] = append(out[dep.ID], j)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: unique IDs, dependencies that are
+// members of the DAG, and topological ordering of Jobs.
+func (d *DAG) Validate() error {
+	seen := make(map[string]int, len(d.Jobs))
+	for i, j := range d.Jobs {
+		if j.ID == "" {
+			return fmt.Errorf("plan: job %d has empty ID", i)
+		}
+		if _, dup := seen[j.ID]; dup {
+			return fmt.Errorf("plan: duplicate job ID %q", j.ID)
+		}
+		seen[j.ID] = i
+	}
+	for i, j := range d.Jobs {
+		for _, dep := range j.Deps {
+			k, ok := seen[dep.ID]
+			if !ok {
+				return fmt.Errorf("plan: job %s depends on %s which is not in the DAG", j.ID, dep.ID)
+			}
+			if k >= i {
+				return fmt.Errorf("plan: job %s appears before its dependency %s", j.ID, dep.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// CriticalPath returns the maximum-cost root-to-sink path under the given
+// per-job cost function, along with the path's jobs in order. The paper
+// approximates a query's execution time by the jobs along this path
+// (Section 5.4).
+func (d *DAG) CriticalPath(cost func(*Job) float64) (float64, []*Job) {
+	best := make(map[string]float64, len(d.Jobs))
+	prev := make(map[string]*Job, len(d.Jobs))
+	var maxJob *Job
+	var maxCost float64
+	for _, j := range d.Jobs { // Jobs are topologically ordered
+		c := cost(j)
+		if c < 0 {
+			c = 0
+		}
+		b := c
+		for _, dep := range j.Deps {
+			if v := best[dep.ID] + c; v > b {
+				b = v
+				prev[j.ID] = dep
+			}
+		}
+		best[j.ID] = b
+		if maxJob == nil || b > maxCost {
+			maxJob, maxCost = j, b
+		}
+	}
+	var path []*Job
+	for j := maxJob; j != nil; j = prev[j.ID] {
+		path = append([]*Job{j}, path...)
+	}
+	return maxCost, path
+}
+
+// String renders the DAG one job per line.
+func (d *DAG) String() string {
+	var b strings.Builder
+	for _, j := range d.Jobs {
+		b.WriteString(j.Label())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"testing"
+
+	"saqp/internal/dataset"
+	"saqp/internal/query"
+)
+
+func TestMapJoinMergesIntoConsumer(t *testing.T) {
+	d := mustCompile(t, `SELECT /*+ MAPJOIN(part) */ p_type, sum(l_extendedprice)
+		FROM part JOIN lineitem ON l_partkey = p_partkey
+		GROUP BY p_type ORDER BY p_type`)
+	// Join folds into the Groupby: AGG + Sort, the paper's Q14 shape.
+	if len(d.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2\n%s", len(d.Jobs), d)
+	}
+	agg := d.Jobs[0]
+	if agg.Type != Groupby {
+		t.Fatalf("first job is %v, want Groupby", agg.Type)
+	}
+	if len(agg.MapJoins) != 1 {
+		t.Fatalf("map-join preludes = %d", len(agg.MapJoins))
+	}
+	spec := agg.MapJoins[0]
+	if spec.BroadcastScan.Table != "part" {
+		t.Fatalf("broadcast table = %q", spec.BroadcastScan.Table)
+	}
+	// The probe scan moved into the merged job.
+	if len(agg.Scans) != 1 || agg.Scans[0].Table != "lineitem" {
+		t.Fatalf("merged scans = %+v", agg.Scans)
+	}
+	// IDs renumbered from J1.
+	if agg.ID != "J1" || d.Jobs[1].ID != "J2" {
+		t.Fatalf("IDs not renumbered: %s, %s", agg.ID, d.Jobs[1].ID)
+	}
+}
+
+func TestMapJoinSinkNotMerged(t *testing.T) {
+	// A map-only join with no consumer stays a standalone job.
+	d := mustCompile(t, `SELECT /*+ MAPJOIN(nation) */ s_name
+		FROM nation JOIN supplier ON s_nationkey = n_nationkey`)
+	if len(d.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(d.Jobs))
+	}
+	j := d.Jobs[0]
+	if !j.MapOnly || j.Broadcast != "nation" || len(j.MapJoins) != 0 {
+		t.Fatalf("sink map-join mangled: %+v", j)
+	}
+}
+
+func TestMapJoinChainMergesTransitively(t *testing.T) {
+	// Hinting the nation dimension folds the first join into the shuffle
+	// join against partsupp: the nation⋈supplier map-join becomes a
+	// prelude of the downstream join job's map phase.
+	d := mustCompile(t, `SELECT /*+ MAPJOIN(n, s) */ ps_partkey, sum(ps_supplycost)
+		FROM nation n JOIN supplier s ON s.s_nationkey = n.n_nationkey
+		JOIN partsupp ps ON ps.ps_suppkey = s.s_suppkey
+		GROUP BY ps_partkey`)
+	if len(d.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2\n%s", len(d.Jobs), d)
+	}
+	join := d.Jobs[0]
+	if join.Type != Join || len(join.MapJoins) != 1 {
+		t.Fatalf("merged join = %+v", join)
+	}
+	// Hint order decides the broadcast side: nation, not supplier.
+	if join.MapJoins[0].BroadcastScan.Table != "nation" {
+		t.Fatalf("broadcast = %s, want nation (first hint)", join.MapJoins[0].BroadcastScan.Table)
+	}
+	tables := map[string]bool{}
+	for _, ts := range join.Scans {
+		tables[ts.Table] = true
+	}
+	if !tables["supplier"] || !tables["partsupp"] {
+		t.Fatalf("merged scans = %+v", join.Scans)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapJoinPartialHint(t *testing.T) {
+	// Only the first join hinted: it merges into the second (shuffle) join.
+	d := mustCompile(t, `SELECT /*+ MAPJOIN(n) */ ps_partkey, sum(ps_supplycost)
+		FROM nation n JOIN supplier s ON s.s_nationkey = n.n_nationkey
+		JOIN partsupp ps ON ps.ps_suppkey = s.s_suppkey
+		GROUP BY ps_partkey`)
+	if len(d.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2\n%s", len(d.Jobs), d)
+	}
+	join := d.Jobs[0]
+	if join.Type != Join || len(join.MapJoins) != 1 || join.MapOnly {
+		t.Fatalf("first job = %+v", join)
+	}
+	// The shuffle join now scans supplier (probe of the prelude) and
+	// partsupp.
+	tables := map[string]bool{}
+	for _, ts := range join.Scans {
+		tables[ts.Table] = true
+	}
+	if !tables["supplier"] || !tables["partsupp"] {
+		t.Fatalf("merged scans = %+v", join.Scans)
+	}
+}
+
+func TestMapJoinQueryStringRoundTrip(t *testing.T) {
+	src := `SELECT /*+ MAPJOIN(part) */ p_type, sum(l_extendedprice)
+		FROM part JOIN lineitem ON l_partkey = p_partkey GROUP BY p_type`
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Resolve(q, dataset.AllSchemas()); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := query.Parse(q.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Resolve(q2, dataset.AllSchemas()); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Compile(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Jobs) != len(d2.Jobs) {
+		t.Fatalf("round-tripped plan differs: %d vs %d jobs", len(d1.Jobs), len(d2.Jobs))
+	}
+}

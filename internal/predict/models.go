@@ -1,0 +1,400 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"saqp/internal/plan"
+	"saqp/internal/selectivity"
+)
+
+// opIndicator is the paper's operator feature O: 1 for Join, 0 otherwise
+// (Table 1).
+func opIndicator(op plan.JobType) float64 {
+	if op == plan.Join {
+		return 1
+	}
+	return 0
+}
+
+// JobFeatures builds the Eq. 8 feature vector from a job's estimated data
+// flow: [D_in, D_med, D_out, O·P(1−P)·D_med].
+func JobFeatures(je *selectivity.JobEstimate) []float64 {
+	o := opIndicator(je.Job.Type)
+	return []float64{
+		je.InBytes,
+		je.MedBytes,
+		je.OutBytes,
+		o * je.PFactor() * je.MedBytes,
+	}
+}
+
+// TaskFeatures builds the Eq. 9 feature vector for one task:
+// [TD_in, TD_out, O·P(1−P)·TD_in].
+func TaskFeatures(op plan.JobType, inBytes, outBytes, pFactor float64) []float64 {
+	o := opIndicator(op)
+	return []float64{inBytes, outBytes, o * pFactor * inBytes}
+}
+
+// JobSample is one observed (job, execution time) pair for training.
+type JobSample struct {
+	Op       plan.JobType
+	Features []float64
+	Seconds  float64
+}
+
+// TaskSample is one observed (task, execution time) pair for training.
+type TaskSample struct {
+	Op       plan.JobType
+	Reduce   bool
+	Features []float64
+	Seconds  float64
+}
+
+// JobModel is the fitted Eq. 8 job execution-time model. The paper
+// "include[s] the operator type as part of our generalized multivariate
+// model"; realising that as full operator interaction terms is equivalent
+// to per-operator coefficient vectors, which is how the model is stored.
+// Pooled holds the operator-agnostic fallback for types unseen in training.
+type JobModel struct {
+	PerOp  map[plan.JobType]*Model
+	Pooled *Model
+}
+
+// FitJobModel trains Eq. 8 over the job corpus, with relative weighting so
+// the model is as accurate on the many small jobs as on the few huge ones.
+func FitJobModel(samples []JobSample) (*JobModel, error) {
+	raw := make([]Sample, len(samples))
+	byOp := map[plan.JobType][]Sample{}
+	for i, s := range samples {
+		raw[i] = Sample{Features: s.Features, Target: s.Seconds}
+		byOp[s.Op] = append(byOp[s.Op], raw[i])
+	}
+	pooled, err := FitRelative(raw)
+	if err != nil {
+		return nil, fmt.Errorf("predict: job model: %w", err)
+	}
+	jm := &JobModel{PerOp: map[plan.JobType]*Model{}, Pooled: pooled}
+	for op, ss := range byOp {
+		// Operators with too few observations fall back to the pooled fit.
+		m, err := FitRelative(ss)
+		if err != nil {
+			continue
+		}
+		jm.PerOp[op] = m
+	}
+	return jm, nil
+}
+
+// modelFor returns the operator's model, or the pooled fallback.
+func (jm *JobModel) modelFor(op plan.JobType) *Model {
+	if m, ok := jm.PerOp[op]; ok {
+		return m
+	}
+	return jm.Pooled
+}
+
+// PredictJob returns the predicted execution time for a job estimate.
+func (jm *JobModel) PredictJob(je *selectivity.JobEstimate) float64 {
+	return math.Max(0, jm.modelFor(je.Job.Type).Predict(JobFeatures(je)))
+}
+
+// TaskModel is the fitted Eq. 9 task-time model. Following Section 4.2
+// ("based on the task type, the operator type, job scale, the per-task
+// input size and output size"), coefficients are keyed by (phase,
+// operator); phase-pooled models serve as fallbacks for unseen operators.
+type TaskModel struct {
+	MapModel    *Model // phase-pooled fallback
+	ReduceModel *Model
+	MapPerOp    map[plan.JobType]*Model
+	ReducePerOp map[plan.JobType]*Model
+}
+
+// FitTaskModel trains the Eq. 9 models over the task corpus.
+func FitTaskModel(samples []TaskSample) (*TaskModel, error) {
+	var maps, reds []Sample
+	mapsOp := map[plan.JobType][]Sample{}
+	redsOp := map[plan.JobType][]Sample{}
+	for _, s := range samples {
+		raw := Sample{Features: s.Features, Target: s.Seconds}
+		if s.Reduce {
+			reds = append(reds, raw)
+			redsOp[s.Op] = append(redsOp[s.Op], raw)
+		} else {
+			maps = append(maps, raw)
+			mapsOp[s.Op] = append(mapsOp[s.Op], raw)
+		}
+	}
+	mm, err := FitRelative(maps)
+	if err != nil {
+		return nil, fmt.Errorf("predict: map task model: %w", err)
+	}
+	rm, err := FitRelative(reds)
+	if err != nil {
+		return nil, fmt.Errorf("predict: reduce task model: %w", err)
+	}
+	tm := &TaskModel{
+		MapModel: mm, ReduceModel: rm,
+		MapPerOp:    map[plan.JobType]*Model{},
+		ReducePerOp: map[plan.JobType]*Model{},
+	}
+	for op, ss := range mapsOp {
+		if m, err := FitRelative(ss); err == nil {
+			tm.MapPerOp[op] = m
+		}
+	}
+	for op, ss := range redsOp {
+		if m, err := FitRelative(ss); err == nil {
+			tm.ReducePerOp[op] = m
+		}
+	}
+	return tm, nil
+}
+
+// taskModelFor returns the most specific fitted model for a task class.
+func (tm *TaskModel) taskModelFor(op plan.JobType, reduce bool) *Model {
+	if reduce {
+		if m, ok := tm.ReducePerOp[op]; ok {
+			return m
+		}
+		return tm.ReduceModel
+	}
+	if m, ok := tm.MapPerOp[op]; ok {
+		return m
+	}
+	return tm.MapModel
+}
+
+// PredictTask implements cluster.TaskTimePredictor: predicted seconds for
+// one task from its semantics-derived features.
+func (tm *TaskModel) PredictTask(op plan.JobType, reduce bool, inBytes, outBytes, pFactor float64) float64 {
+	f := TaskFeatures(op, inBytes, outBytes, pFactor)
+	v := tm.taskModelFor(op, reduce).Predict(f)
+	if v < 0.1 {
+		v = 0.1 // tasks never finish instantly: JVM startup floors them
+	}
+	return v
+}
+
+// Overheads carries the fixed cluster costs the task-composition predictor
+// adds on top of task work: per-task dispatch latency and per-job
+// initialisation (Section 4.3: "... plus scheduling overheads").
+type Overheads struct {
+	SchedPerTaskSec float64
+	JobInitSec      float64
+}
+
+// DefaultOverheads matches cluster.DefaultConfig.
+func DefaultOverheads() Overheads {
+	return Overheads{SchedPerTaskSec: 0.5, JobInitSec: 10}
+}
+
+// Slots carries the per-phase slot capacities of the target cluster
+// (Hadoop-1 task trackers partition containers into map and reduce slots).
+type Slots struct {
+	Map, Reduce int
+}
+
+// DefaultSlots matches cluster.DefaultConfig (9 nodes × 8 map + 4 reduce).
+func DefaultSlots() Slots { return Slots{Map: 72, Reduce: 36} }
+
+// PredictJobFromTasks approximates a job's execution time from the task
+// models, the way Section 4.2/4.3 scales to jobs beyond the training range:
+// wave count × per-task time per phase, plus scheduling overheads.
+func (tm *TaskModel) PredictJobFromTasks(je *selectivity.JobEstimate, slots Slots, ov Overheads) float64 {
+	if slots.Map < 1 {
+		slots.Map = 1
+	}
+	if slots.Reduce < 1 {
+		slots.Reduce = 1
+	}
+	pf := je.PFactor()
+	nm := je.NumMaps
+	if nm < 1 {
+		nm = 1
+	}
+	// Per-map time: task-count-weighted mean over the job's map groups
+	// (the two sides of a join have different per-task volumes).
+	mt := tm.meanMapTime(je, pf)
+	waves := math.Ceil(float64(nm) / float64(slots.Map))
+	total := ov.JobInitSec + waves*(mt+ov.SchedPerTaskSec)
+	if nr := je.NumReduces; nr > 0 {
+		// The reduce phase finishes when its slowest (hottest-partition)
+		// task does: waves of the typical task plus the hot remainder.
+		typ, hot := tm.reduceTimes(je, pf)
+		rWaves := math.Ceil(float64(nr) / float64(slots.Reduce))
+		total += rWaves*(typ+ov.SchedPerTaskSec) + math.Max(0, hot-typ)
+	}
+	return total
+}
+
+// reduceTimes returns the typical and hottest predicted reduce task times.
+func (tm *TaskModel) reduceTimes(je *selectivity.JobEstimate, pf float64) (typ, hot float64) {
+	nr := je.NumReduces
+	if nr < 1 {
+		return 0, 0
+	}
+	if len(je.ReduceGroups) == 0 {
+		t := tm.PredictTask(je.Job.Type, true, je.MedBytes/float64(nr), je.OutBytes/float64(nr), pf)
+		return t, t
+	}
+	var maxT float64
+	var sum float64
+	var n int
+	for _, g := range je.ReduceGroups {
+		t := tm.PredictTask(je.Job.Type, true, g.InBytes, g.OutBytes, pf)
+		if t > maxT {
+			maxT = t
+		}
+		sum += t * float64(g.Count)
+		n += g.Count
+	}
+	return sum / float64(n), maxT
+}
+
+// meanMapTime returns the task-count-weighted mean predicted map time.
+func (tm *TaskModel) meanMapTime(je *selectivity.JobEstimate, pf float64) float64 {
+	if len(je.MapGroups) == 0 {
+		nm := je.NumMaps
+		if nm < 1 {
+			nm = 1
+		}
+		return tm.PredictTask(je.Job.Type, false, je.InBytes/float64(nm), je.MedBytes/float64(nm), pf)
+	}
+	var sum float64
+	var n int
+	for _, g := range je.MapGroups {
+		sum += float64(g.Count) * tm.PredictTask(je.Job.Type, false, g.InBytes, g.OutBytes, pf)
+		n += g.Count
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PredictQuery approximates a whole query's execution time as the sum of
+// task-model job times along the DAG's critical path (Section 5.4).
+func (tm *TaskModel) PredictQuery(qe *selectivity.QueryEstimate, slots Slots, ov Overheads) float64 {
+	cost := func(j *plan.Job) float64 {
+		je := qe.ByID[j.ID]
+		if je == nil {
+			return 0
+		}
+		return tm.PredictJobFromTasks(je, slots, ov)
+	}
+	total, _ := qe.DAG.CriticalPath(cost)
+	return total
+}
+
+// WRD computes a query's Weighted Resource Demand (Eq. 10) from the task
+// models: Σ_jobs MT_i·N_Mi + RT_i·N_Ri.
+func (tm *TaskModel) WRD(qe *selectivity.QueryEstimate) float64 {
+	var total float64
+	for _, je := range qe.Jobs {
+		pf := je.PFactor()
+		nm := je.NumMaps
+		if nm < 1 {
+			nm = 1
+		}
+		total += float64(nm) * tm.meanMapTime(je, pf)
+		if nr := je.NumReduces; nr > 0 {
+			typ, hot := tm.reduceTimes(je, pf)
+			total += float64(nr-1)*typ + hot
+		}
+	}
+	return total
+}
+
+// GroupAccuracy reports R² and average relative error per operator group —
+// the rows of Tables 3, 4 and 5.
+type GroupAccuracy struct {
+	Op       string
+	N        int
+	RSquared float64
+	AvgError float64
+}
+
+// JobAccuracyByOperator evaluates a job model per operator type plus an
+// overall row, reproducing Table 3's structure. Each sample is scored with
+// the model its operator dispatches to.
+func (jm *JobModel) JobAccuracyByOperator(samples []JobSample) []GroupAccuracy {
+	groups := map[string][]predActual{}
+	for _, s := range samples {
+		p := math.Max(0, jm.modelFor(s.Op).Predict(s.Features))
+		groups[s.Op.String()] = append(groups[s.Op.String()], predActual{p, s.Seconds})
+		groups["All"] = append(groups["All"], predActual{p, s.Seconds})
+	}
+	var out []GroupAccuracy
+	for _, name := range []string{plan.Groupby.String(), plan.Join.String(), plan.Extract.String(), "All"} {
+		ps, ok := groups[name]
+		if !ok {
+			continue
+		}
+		out = append(out, summarize(name, ps))
+	}
+	return out
+}
+
+// TaskAccuracyByOperator evaluates one phase's task model per operator
+// type plus a "Together" row, reproducing Tables 4 and 5. Each sample is
+// scored with the model its (phase, operator) class dispatches to.
+func (tm *TaskModel) TaskAccuracyByOperator(samples []TaskSample, reduce bool) []GroupAccuracy {
+	groups := map[string][]predActual{}
+	for _, s := range samples {
+		if s.Reduce != reduce {
+			continue
+		}
+		p := tm.taskModelFor(s.Op, reduce).Predict(s.Features)
+		if p < 0.1 {
+			p = 0.1
+		}
+		groups[s.Op.String()] = append(groups[s.Op.String()], predActual{p, s.Seconds})
+		groups["Together"] = append(groups["Together"], predActual{p, s.Seconds})
+	}
+	order := []string{plan.Join.String(), plan.Groupby.String(), plan.Extract.String(), "Together"}
+	var out []GroupAccuracy
+	for _, name := range order {
+		ps, ok := groups[name]
+		if !ok {
+			continue
+		}
+		out = append(out, summarize(name, ps))
+	}
+	return out
+}
+
+// predActual pairs a prediction with its observation.
+type predActual struct{ pred, actual float64 }
+
+// summarize computes the Table 3/4/5 metrics for one group.
+func summarize(name string, ps []predActual) GroupAccuracy {
+	var mean float64
+	for _, p := range ps {
+		mean += p.actual
+	}
+	mean /= float64(len(ps))
+	var ssRes, ssTot, relSum float64
+	rel := 0
+	for _, p := range ps {
+		d := p.actual - p.pred
+		ssRes += d * d
+		t := p.actual - mean
+		ssTot += t * t
+		if p.actual > 0 {
+			relSum += math.Abs(d) / p.actual
+			rel++
+		}
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		r2 = 1
+	}
+	avg := 0.0
+	if rel > 0 {
+		avg = relSum / float64(rel)
+	}
+	return GroupAccuracy{Op: name, N: len(ps), RSquared: r2, AvgError: avg}
+}

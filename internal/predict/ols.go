@@ -1,0 +1,202 @@
+// Package predict implements the paper's multivariate time prediction
+// (Section 4): ordinary least squares regression over the semantics-derived
+// features of Table 1, the job execution-time model of Eq. 8, the map/
+// reduce task-time models of Eq. 9, query-level prediction via the DAG's
+// critical path (Section 5.4), and the R²/average-error metrics of
+// Tables 3–5.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sample is one training observation: a feature vector (without intercept)
+// and the observed target.
+type Sample struct {
+	Features []float64
+	Target   float64
+}
+
+// Model is a fitted linear model. Theta[0] is the intercept; Theta[1:]
+// correspond to the feature vector positions.
+type Model struct {
+	Theta []float64
+}
+
+// ErrSingular is returned when the normal equations cannot be solved
+// (collinear features or too few samples).
+var ErrSingular = errors.New("predict: singular design matrix")
+
+// Fit computes the least-squares coefficients via the normal equations
+// XᵀXθ = Xᵀy, solved with Gaussian elimination and partial pivoting. An
+// intercept column is added internally. A tiny ridge term (1e-9 relative)
+// keeps near-collinear workload features solvable without visibly biasing
+// coefficients.
+func Fit(samples []Sample) (*Model, error) {
+	return FitWeighted(samples, nil)
+}
+
+// FitRelative fits with per-sample weights 1/target^1.5 — weighted least
+// squares biased toward *relative* residuals. Execution times span three
+// orders of magnitude across a query corpus; unweighted OLS would tune the
+// model to the biggest jobs and grossly over-predict the small ones, while
+// the paper's accuracy metric (average relative error) treats all jobs
+// equally. The 1.5 exponent balances the two regimes.
+func FitRelative(samples []Sample) (*Model, error) {
+	return FitWeighted(samples, func(s Sample) float64 {
+		t := math.Abs(s.Target)
+		if t < 1e-6 {
+			t = 1e-6
+		}
+		return 1 / (t * math.Sqrt(t))
+	})
+}
+
+// FitWeighted computes weighted least squares; weight nil means uniform.
+func FitWeighted(samples []Sample, weight func(Sample) float64) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("predict: no samples")
+	}
+	k := len(samples[0].Features) + 1
+	if len(samples) < k {
+		return nil, fmt.Errorf("predict: %d samples cannot identify %d coefficients", len(samples), k)
+	}
+	// Build XᵀWX (k×k) and XᵀWy (k).
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	row := make([]float64, k)
+	for _, s := range samples {
+		if len(s.Features)+1 != k {
+			return nil, fmt.Errorf("predict: inconsistent feature width %d vs %d", len(s.Features)+1, k)
+		}
+		w := 1.0
+		if weight != nil {
+			w = weight(s)
+		}
+		row[0] = 1
+		copy(row[1:], s.Features)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				xtx[i][j] += w * row[i] * row[j]
+			}
+			xty[i] += w * row[i] * s.Target
+		}
+	}
+	// Relative ridge: scale by each diagonal entry so units don't matter.
+	for i := 0; i < k; i++ {
+		xtx[i][i] *= 1 + 1e-9
+		if xtx[i][i] == 0 {
+			xtx[i][i] = 1e-12
+		}
+	}
+	theta, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Theta: theta}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of A.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// Predict evaluates the model on one feature vector.
+func (m *Model) Predict(features []float64) float64 {
+	y := m.Theta[0]
+	for i, f := range features {
+		if i+1 < len(m.Theta) {
+			y += m.Theta[i+1] * f
+		}
+	}
+	return y
+}
+
+// RSquared computes the coefficient of determination of the model over the
+// samples: 1 − SS_res/SS_tot. A value approaching 1 indicates a good fit
+// (paper Section 5.2). It can be negative for a model worse than the mean.
+func (m *Model) RSquared(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, s := range samples {
+		mean += s.Target
+	}
+	mean /= float64(len(samples))
+	var ssRes, ssTot float64
+	for _, s := range samples {
+		d := s.Target - m.Predict(s.Features)
+		ssRes += d * d
+		t := s.Target - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// AvgRelError computes the mean of |pred − actual| / actual over samples
+// with positive targets — the paper's "Avg Error" metric.
+func (m *Model) AvgRelError(samples []Sample) float64 {
+	var sum float64
+	var n int
+	for _, s := range samples {
+		if s.Target <= 0 {
+			continue
+		}
+		sum += math.Abs(m.Predict(s.Features)-s.Target) / s.Target
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

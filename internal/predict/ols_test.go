@@ -1,0 +1,166 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"saqp/internal/sim"
+)
+
+func TestFitRecoversExactCoefficients(t *testing.T) {
+	// Noise-free synthetic data: OLS must recover the exact plane.
+	r := sim.New(1)
+	truth := []float64{3, 1.5, -2, 0.25}
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		f := []float64{r.Range(0, 100), r.Range(-50, 50), r.Range(0, 10)}
+		y := truth[0] + truth[1]*f[0] + truth[2]*f[1] + truth[3]*f[2]
+		samples = append(samples, Sample{Features: f, Target: y})
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range truth {
+		if math.Abs(m.Theta[i]-want) > 1e-6 {
+			t.Fatalf("theta[%d] = %v, want %v", i, m.Theta[i], want)
+		}
+	}
+	if r2 := m.RSquared(samples); math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("R² = %v on noise-free data", r2)
+	}
+	if e := m.AvgRelError(samples); e > 1e-6 {
+		t.Fatalf("avg error = %v on noise-free data", e)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	r := sim.New(2)
+	var samples []Sample
+	for i := 0; i < 2000; i++ {
+		x := r.Range(0, 100)
+		y := 5 + 2*x + r.Normal(0, 3)
+		samples = append(samples, Sample{Features: []float64{x}, Target: y})
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Theta[1]-2) > 0.05 {
+		t.Fatalf("slope = %v, want ~2", m.Theta[1])
+	}
+	r2 := m.RSquared(samples)
+	if r2 < 0.9 || r2 > 1 {
+		t.Fatalf("R² = %v, want high but < 1", r2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty fit should fail")
+	}
+	// Fewer samples than coefficients.
+	s := []Sample{{Features: []float64{1, 2, 3}, Target: 1}}
+	if _, err := Fit(s); err == nil {
+		t.Fatal("underdetermined fit should fail")
+	}
+	// Inconsistent widths.
+	bad := []Sample{
+		{Features: []float64{1}, Target: 1},
+		{Features: []float64{1, 2}, Target: 2},
+		{Features: []float64{3}, Target: 3},
+	}
+	if _, err := Fit(bad); err == nil {
+		t.Fatal("ragged features should fail")
+	}
+}
+
+func TestFitCollinearSurvivesViaRidge(t *testing.T) {
+	// Perfectly duplicated feature: the tiny ridge keeps it solvable and
+	// predictions exact even though individual coefficients are not unique.
+	r := sim.New(3)
+	var samples []Sample
+	for i := 0; i < 100; i++ {
+		x := r.Range(0, 10)
+		samples = append(samples, Sample{Features: []float64{x, x}, Target: 7 * x})
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{2, 2}); math.Abs(p-14) > 0.01 {
+		t.Fatalf("collinear prediction = %v, want 14", p)
+	}
+}
+
+func TestRSquaredRange(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{1}, Target: 10},
+		{Features: []float64{2}, Target: 20},
+		{Features: []float64{3}, Target: 30},
+	}
+	// A deliberately wrong model: R² can be negative.
+	wrong := &Model{Theta: []float64{100, -10}}
+	if r2 := wrong.RSquared(samples); r2 >= 0 {
+		t.Fatalf("wrong model R² = %v, expected negative", r2)
+	}
+	// Constant targets: R² defined as 1 for perfect, 0 otherwise.
+	flat := []Sample{{Features: []float64{1}, Target: 5}, {Features: []float64{2}, Target: 5}}
+	perfect := &Model{Theta: []float64{5, 0}}
+	if perfect.RSquared(flat) != 1 {
+		t.Fatal("perfect constant fit should be R²=1")
+	}
+	if wrong.RSquared(nil) != 0 {
+		t.Fatal("empty sample R² should be 0")
+	}
+}
+
+func TestAvgRelErrorSkipsNonPositive(t *testing.T) {
+	m := &Model{Theta: []float64{0, 1}}
+	samples := []Sample{
+		{Features: []float64{10}, Target: 10}, // exact
+		{Features: []float64{5}, Target: 0},   // skipped
+	}
+	if e := m.AvgRelError(samples); e != 0 {
+		t.Fatalf("avg error = %v", e)
+	}
+	if e := m.AvgRelError(nil); e != 0 {
+		t.Fatal("empty avg error should be 0")
+	}
+}
+
+func TestPredictIgnoresExtraFeatures(t *testing.T) {
+	m := &Model{Theta: []float64{1, 2}}
+	if got := m.Predict([]float64{3, 99, 99}); got != 7 {
+		t.Fatalf("Predict = %v, want 7", got)
+	}
+}
+
+func TestOLSPropertyAffineInvariance(t *testing.T) {
+	// Scaling all targets by c scales predictions by c.
+	r := sim.New(4)
+	f := func(cRaw uint8) bool {
+		c := float64(cRaw%50) + 1
+		var s1, s2 []Sample
+		rr := sim.New(5)
+		for i := 0; i < 50; i++ {
+			x := rr.Range(0, 10)
+			y := 2 + 3*x + rr.Normal(0, 0.1)
+			s1 = append(s1, Sample{Features: []float64{x}, Target: y})
+			s2 = append(s2, Sample{Features: []float64{x}, Target: c * y})
+		}
+		m1, err1 := Fit(s1)
+		m2, err2 := Fit(s2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		p1 := m1.Predict([]float64{5})
+		p2 := m2.Predict([]float64{5})
+		return math.Abs(p2-c*p1) < 1e-6*math.Abs(c*p1)+1e-9
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

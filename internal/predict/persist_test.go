@@ -1,0 +1,94 @@
+package predict_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+)
+
+func TestSaveLoadModelsRoundTrip(t *testing.T) {
+	c := sharedCorpus(t)
+	train, _ := c.Split(0.75)
+	jm, err := predict.FitJobModel(train.JobSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := predict.FitTaskModel(train.TaskSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := predict.SaveModels(jm, tm, "test bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm2, tm2, err := predict.LoadModels(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded models predict identically.
+	for _, s := range train.JobSamples[:50] {
+		a := math.Max(0, jmPredict(jm, s))
+		b := math.Max(0, jmPredict(jm2, s))
+		if a != b {
+			t.Fatalf("job prediction drift after round trip: %v vs %v", a, b)
+		}
+	}
+	for _, s := range train.TaskSamples[:100] {
+		a := tm.PredictTask(s.Op, s.Reduce, s.Features[0], s.Features[1], 0.1)
+		b := tm2.PredictTask(s.Op, s.Reduce, s.Features[0], s.Features[1], 0.1)
+		if a != b {
+			t.Fatalf("task prediction drift after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+// jmPredict scores one raw sample through a job model by operator.
+func jmPredict(jm *predict.JobModel, s predict.JobSample) float64 {
+	m := jm.Pooled
+	if pm, ok := jm.PerOp[s.Op]; ok {
+		m = pm
+	}
+	return m.Predict(s.Features)
+}
+
+func TestLoadModelsErrors(t *testing.T) {
+	if _, _, err := predict.LoadModels([]byte("{")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, _, err := predict.LoadModels([]byte(`{"version": 99}`)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not detected: %v", err)
+	}
+	if _, _, err := predict.LoadModels([]byte(`{"version": 1}`)); err == nil {
+		t.Fatal("missing pooled job model should fail")
+	}
+	if _, _, err := predict.LoadModels([]byte(
+		`{"version":1,"job_pooled":{"theta":[1]},"map_pooled":{"theta":[1]},"reduce_pooled":{"theta":[1]},"job_per_op":{"Bogus":{"theta":[1]}}}`)); err == nil {
+		t.Fatal("unknown operator should fail")
+	}
+}
+
+func TestSaveModelsNil(t *testing.T) {
+	if _, err := predict.SaveModels(nil, nil, ""); err == nil {
+		t.Fatal("nil models should fail to save")
+	}
+}
+
+func TestSavedBundleOperatorsComplete(t *testing.T) {
+	c := sharedCorpus(t)
+	train, _ := c.Split(0.75)
+	jm, _ := predict.FitJobModel(train.JobSamples)
+	tm, _ := predict.FitTaskModel(train.TaskSamples)
+	data, err := predict.SaveModels(jm, tm, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []plan.JobType{plan.Extract, plan.Groupby, plan.Join} {
+		if !strings.Contains(string(data), `"`+op.String()+`"`) {
+			t.Fatalf("bundle missing operator %s", op)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"saqp/internal/dataset"
+)
+
+func TestParseBetweenExpands(t *testing.T) {
+	q, err := Parse(`SELECT a FROM t WHERE a BETWEEN 5 AND 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("BETWEEN expanded to %d predicates", len(q.Where))
+	}
+	if q.Where[0].Op != OpGE || q.Where[0].Lit.F != 5 {
+		t.Fatalf("lower bound = %+v", q.Where[0])
+	}
+	if q.Where[1].Op != OpLE || q.Where[1].Lit.F != 10 {
+		t.Fatalf("upper bound = %+v", q.Where[1])
+	}
+}
+
+func TestParseBetweenInJoinOn(t *testing.T) {
+	q, err := Parse(`SELECT a FROM t JOIN u ON x = y AND b BETWEEN 1 AND 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins[0].On) != 3 {
+		t.Fatalf("ON conjuncts = %d, want join cond + 2 range bounds", len(q.Joins[0].On))
+	}
+}
+
+func TestParseIN(t *testing.T) {
+	q, err := Parse(`SELECT a FROM t WHERE a IN (1, 2, 3) AND b IN ('x', 'y')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("predicates = %d", len(q.Where))
+	}
+	p := q.Where[0]
+	if p.Op != OpIN || len(p.Set) != 3 || p.Set[2].F != 3 {
+		t.Fatalf("numeric IN = %+v", p)
+	}
+	s := q.Where[1]
+	if s.Op != OpIN || len(s.Set) != 2 || !s.Set[0].IsString || s.Set[1].S != "y" {
+		t.Fatalf("string IN = %+v", s)
+	}
+	// Round trip.
+	if _, err := Parse(q.String()); err != nil {
+		t.Fatalf("IN does not reparse: %v\n%s", err, q)
+	}
+}
+
+func TestParseINErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT a FROM t WHERE a IN 1`,
+		`SELECT a FROM t WHERE a IN ()`,
+		`SELECT a FROM t WHERE a IN (1,)`,
+		`SELECT a FROM t WHERE a BETWEEN 1 10`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseMapJoinHint(t *testing.T) {
+	q, err := Parse(`SELECT /*+ MAPJOIN(n, s) */ ps_partkey FROM nation n
+		JOIN supplier s ON s_nationkey = n_nationkey
+		JOIN partsupp ps ON ps_suppkey = s_suppkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.MapJoinTables) != 2 || q.MapJoinTables[0] != "n" || q.MapJoinTables[1] != "s" {
+		t.Fatalf("hint tables = %v", q.MapJoinTables)
+	}
+	// Rendered SQL keeps the hint and reparses.
+	if !strings.Contains(q.String(), "MAPJOIN(") {
+		t.Fatalf("hint lost in rendering: %s", q)
+	}
+	if _, err := Parse(q.String()); err != nil {
+		t.Fatalf("hinted SQL does not reparse: %v", err)
+	}
+}
+
+func TestParseHintErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT /*+ STREAMTABLE(a) */ x FROM t`,
+		`SELECT /*+ MAPJOIN */ x FROM t`,
+		`SELECT /*+ MAPJOIN() */ x FROM t`,
+		`SELECT /*+ MAPJOIN(a, ) */ x FROM t`,
+		`SELECT /*+ MAPJOIN(a x FROM t`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseBlockComment(t *testing.T) {
+	q, err := Parse(`SELECT a /* plain comment */ FROM t WHERE /* another */ a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 1 {
+		t.Fatal("block comment broke parsing")
+	}
+}
+
+func TestResolveMapJoinHint(t *testing.T) {
+	schemas := dataset.AllSchemas()
+	q, err := Parse(`SELECT /*+ MAPJOIN(n) */ s_name FROM nation n JOIN supplier ON s_nationkey = n_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Resolve(q, schemas); err != nil {
+		t.Fatal(err)
+	}
+	if q.MapJoinTables[0] != "nation" {
+		t.Fatalf("hint alias not resolved: %v", q.MapJoinTables)
+	}
+	// Unknown hint table.
+	q2, _ := Parse(`SELECT /*+ MAPJOIN(ghost) */ s_name FROM nation JOIN supplier ON s_nationkey = n_nationkey`)
+	if err := Resolve(q2, schemas); err == nil || !strings.Contains(err.Error(), "MAPJOIN") {
+		t.Fatalf("want MAPJOIN resolve error, got %v", err)
+	}
+}
+
+func TestResolveINColumns(t *testing.T) {
+	schemas := dataset.AllSchemas()
+	q, err := Parse(`SELECT l_orderkey FROM lineitem WHERE l_quantity IN (1, 2, 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Resolve(q, schemas); err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Left.Table != "lineitem" {
+		t.Fatal("IN predicate column not resolved")
+	}
+}

@@ -1,0 +1,178 @@
+package query
+
+import (
+	"fmt"
+
+	"saqp/internal/dataset"
+)
+
+// Resolve binds a parsed query to base-table schemas: it checks that every
+// referenced table exists, expands aliases, qualifies unqualified column
+// references, and verifies every column exists in its table. On success the
+// AST is rewritten in place so that every ColumnRef.Table holds the base
+// table name (aliases are erased; statistics lookups key on base names).
+//
+// Self-joins under distinct aliases resolve to the same base table; the
+// selectivity estimator treats both sides with the same statistics, which
+// is exact for the paper's workload shapes.
+func Resolve(q *Query, schemas map[string]*dataset.Schema) error {
+	scope := make(map[string]*dataset.Schema) // label -> schema
+	order := make([]string, 0, 4)             // labels in FROM order
+	bind := func(tr TableRef) error {
+		s, ok := schemas[tr.Name]
+		if !ok {
+			return fmt.Errorf("query: unknown table %q", tr.Name)
+		}
+		label := tr.Label()
+		if _, dup := scope[label]; dup {
+			return fmt.Errorf("query: duplicate table label %q", label)
+		}
+		scope[label] = s
+		order = append(order, label)
+		return nil
+	}
+	if err := bind(q.From); err != nil {
+		return err
+	}
+	for _, j := range q.Joins {
+		if err := bind(j.Table); err != nil {
+			return err
+		}
+	}
+
+	resolveCol := func(c *ColumnRef) error {
+		if c.Table != "" {
+			s, ok := scope[c.Table]
+			if !ok {
+				// Maybe the query used the base name while FROM used an alias.
+				if s2, ok2 := schemas[c.Table]; ok2 {
+					found := false
+					for _, lbl := range order {
+						if scope[lbl].Name == c.Table {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return fmt.Errorf("query: table %q not in FROM clause", c.Table)
+					}
+					s = s2
+				} else {
+					return fmt.Errorf("query: unknown table label %q", c.Table)
+				}
+			}
+			if s.Column(c.Column) == nil {
+				return fmt.Errorf("query: table %q has no column %q", s.Name, c.Column)
+			}
+			c.Table = s.Name
+			return nil
+		}
+		// Unqualified: must be unique across the scope.
+		var owner *dataset.Schema
+		for _, lbl := range order {
+			s := scope[lbl]
+			if s.Column(c.Column) != nil {
+				if owner != nil && owner.Name != s.Name {
+					return fmt.Errorf("query: ambiguous column %q (in %q and %q)", c.Column, owner.Name, s.Name)
+				}
+				owner = s
+			}
+		}
+		if owner == nil {
+			return fmt.Errorf("query: unknown column %q", c.Column)
+		}
+		c.Table = owner.Name
+		return nil
+	}
+
+	resolveExpr := func(e *Expr) error {
+		if e.Binop != nil {
+			if err := resolveCol(&e.Binop.Left); err != nil {
+				return err
+			}
+			return resolveCol(&e.Binop.Right)
+		}
+		return resolveCol(&e.Col)
+	}
+
+	for i := range q.Select {
+		if q.Select[i].Star {
+			continue
+		}
+		if err := resolveExpr(&q.Select[i].Expr); err != nil {
+			return err
+		}
+	}
+	resolvePred := func(p *Predicate) error {
+		if err := resolveCol(&p.Left); err != nil {
+			return err
+		}
+		if p.Right != nil {
+			return resolveCol(p.Right)
+		}
+		return nil
+	}
+	for i := range q.Joins {
+		for k := range q.Joins[i].On {
+			if err := resolvePred(&q.Joins[i].On[k]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range q.Where {
+		if err := resolvePred(&q.Where[i]); err != nil {
+			return err
+		}
+	}
+	for i := range q.GroupBy {
+		if err := resolveCol(&q.GroupBy[i]); err != nil {
+			return err
+		}
+	}
+	for i := range q.Having {
+		if q.Having[i].Star {
+			continue
+		}
+		if err := resolveExpr(&q.Having[i].Expr); err != nil {
+			return err
+		}
+	}
+	for i := range q.OrderBy {
+		if q.OrderBy[i].Star {
+			continue
+		}
+		if q.OrderBy[i].IsAggregate() {
+			if err := resolveExpr(&q.OrderBy[i].Expr); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := resolveCol(&q.OrderBy[i].Col); err != nil {
+			return err
+		}
+	}
+	// MAPJOIN hints name table labels; rewrite them to base names.
+	for i, label := range q.MapJoinTables {
+		if s, ok := scope[label]; ok {
+			q.MapJoinTables[i] = s.Name
+			continue
+		}
+		// The hint may already use the base name under an alias.
+		found := false
+		for _, lbl := range order {
+			if scope[lbl].Name == label {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("query: MAPJOIN hint names unknown table %q", label)
+		}
+	}
+	// Erase aliases in table references too, so the planner sees base names.
+	q.From.Alias = ""
+	for i := range q.Joins {
+		q.Joins[i].Table.Alias = ""
+	}
+	return nil
+}

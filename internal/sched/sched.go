@@ -1,0 +1,143 @@
+// Package sched implements the three scheduling policies the paper
+// evaluates (Section 5.5):
+//
+//   - HCS, the Hadoop Capacity Scheduler: jobs are hashed by query into
+//     capacity queues; slots go to the most under-served queue, FIFO
+//     within it. Capacity is elastic (idle slots are lent across queues)
+//     but never preempted, so a big query that borrows the cluster starves
+//     later-arriving jobs — the thrashing of Figures 1–2.
+//   - HFS, the Hadoop Fair Scheduler: slots balanced across all active
+//     jobs (fewest running tasks first), slicing resources thinly across
+//     concurrent queries.
+//   - SWRD, the paper's case-study scheduler: all slots go to the query
+//     with the Smallest Weighted Resource Demand (Eq. 10), computed from
+//     the semantics-aware predicted task times; within a query, jobs run
+//     in submission order.
+//
+// Schedulers only rank jobs; the cluster simulator owns slot pools,
+// reduce slowstart and phase eligibility.
+package sched
+
+import (
+	"hash/fnv"
+
+	"saqp/internal/cluster"
+)
+
+// HCS is the capacity scheduler: per-queue FIFO with elastic shares.
+// Queues <= 1 degenerates to a single FIFO queue.
+type HCS struct {
+	// Queues is the number of capacity queues (Hadoop deployments
+	// typically configured one per team); queries hash onto queues.
+	Queues int
+}
+
+// Name implements cluster.Scheduler.
+func (h HCS) Name() string { return "HCS" }
+
+// queueOf hashes a job's query onto a queue.
+func (h HCS) queueOf(j *cluster.Job) int {
+	n := h.Queues
+	if n <= 1 {
+		return 0
+	}
+	f := fnv.New32a()
+	f.Write([]byte(j.Query.ID))
+	return int(f.Sum32()) % n
+}
+
+// PickJob serves the most under-served queue that has a candidate, FIFO
+// within the queue.
+func (h HCS) PickJob(_ float64, cands, active []*cluster.Job, _ bool) *cluster.Job {
+	if len(cands) == 0 {
+		return nil
+	}
+	// Usage per queue over all active jobs (running tasks occupy slots).
+	usage := map[int]int{}
+	for _, j := range active {
+		usage[h.queueOf(j)] += j.RunningTasks()
+	}
+	// The least-used queue holding a candidate (ties: lowest queue index).
+	bestQueue := -1
+	for _, j := range cands {
+		q := h.queueOf(j)
+		if bestQueue < 0 || usage[q] < usage[bestQueue] ||
+			(usage[q] == usage[bestQueue] && q < bestQueue) {
+			bestQueue = q
+		}
+	}
+	// FIFO within the chosen queue.
+	var best *cluster.Job
+	for _, j := range cands {
+		if h.queueOf(j) != bestQueue {
+			continue
+		}
+		if best == nil || j.SubmitTime < best.SubmitTime {
+			best = j
+		}
+	}
+	return best
+}
+
+// HFS is the fair scheduler: serve the candidate with the fewest running
+// tasks, so slot shares equalise across active jobs.
+type HFS struct{}
+
+// Name implements cluster.Scheduler.
+func (HFS) Name() string { return "HFS" }
+
+// PickJob returns the candidate with the smallest running-task count.
+func (HFS) PickJob(_ float64, cands, _ []*cluster.Job, _ bool) *cluster.Job {
+	var best *cluster.Job
+	bestRunning := 0
+	for _, j := range cands {
+		r := j.RunningTasks()
+		if best == nil || r < bestRunning ||
+			(r == bestRunning && j.SubmitTime < best.SubmitTime) {
+			best = j
+			bestRunning = r
+		}
+	}
+	return best
+}
+
+// SWRD is the paper's Smallest-WRD-first query scheduler: all slots go to
+// the query with the smallest remaining Weighted Resource Demand; within
+// it, jobs run in submission order. Ties break by arrival time so equal
+// queries retain FIFO fairness.
+type SWRD struct{}
+
+// Name implements cluster.Scheduler.
+func (SWRD) Name() string { return "SWRD" }
+
+// PickJob selects the smallest-WRD query's oldest candidate job.
+func (SWRD) PickJob(_ float64, cands, _ []*cluster.Job, _ bool) *cluster.Job {
+	var bestQ *cluster.Query
+	for _, j := range cands {
+		q := j.Query
+		if bestQ == nil ||
+			q.RemainingWRD() < bestQ.RemainingWRD() ||
+			(q.RemainingWRD() == bestQ.RemainingWRD() && q.ArrivalTime < bestQ.ArrivalTime) {
+			bestQ = q
+		}
+	}
+	if bestQ == nil {
+		return nil
+	}
+	var best *cluster.Job
+	for _, j := range cands {
+		if j.Query != bestQ {
+			continue
+		}
+		if best == nil || j.SubmitTime < best.SubmitTime {
+			best = j
+		}
+	}
+	return best
+}
+
+var (
+	_ cluster.Scheduler = HCS{}
+	_ cluster.Scheduler = HFS{}
+	_ cluster.Scheduler = SWRD{}
+)

@@ -1,0 +1,121 @@
+// Package selectivity implements the paper's semantics-aware selectivity
+// estimation (Section 3): per-job Intermediate Selectivity (IS = D_med/D_in)
+// and Final Selectivity (FS = D_out/D_in) for the Extract, Groupby and Join
+// job categories, including
+//
+//   - predicate selectivity S_pred from equi-width histograms,
+//   - projection selectivity S_proj from column widths,
+//   - combine selectivity S_comb for Groupby (Eq. 2, clustered vs random),
+//   - join input mixing (Eq. 3) and the join balance ratio P (Eq. 7),
+//   - piece-wise-uniform join cardinality (Eq. 5),
+//   - natural-join chains with accumulated predicates (Eq. 6),
+//
+// and the propagation of data statistics along a query DAG so that a job's
+// estimates feed its downstream jobs.
+package selectivity
+
+import (
+	"saqp/internal/histogram"
+)
+
+// ColStat tracks the statistics of one column as data flows through a DAG:
+// its (scaled) histogram, distinct count, average width, and whether equal
+// values remain physically clustered.
+type ColStat struct {
+	Hist     *histogram.Histogram // nil for string columns
+	Distinct float64
+	// BaseDistinct is the column's cardinality in the unfiltered base
+	// table — the paper's T.d_x in Eq. 2 — preserved as statistics flow
+	// through filters and joins.
+	BaseDistinct float64
+	// TopShare is the most-common-value row share (hash-partition skew).
+	// Preserved through uniform filters: the hot key's share of survivors
+	// is unchanged when rows drop independently of the key.
+	TopShare  float64
+	Width     float64
+	Clustered bool
+}
+
+// clone returns an independent copy (the histogram pointer is shared until
+// scaled, since Scale returns a new histogram).
+func (c *ColStat) clone() *ColStat {
+	cp := *c
+	return &cp
+}
+
+// scaled returns the column statistics after the row count is multiplied
+// by factor f (f <= 1 for filters, f > 1 possible after joins). Surviving
+// distinct counts follow the Cardenas/Yao estimate — dropping rows
+// uniformly keeps most values of a low-cardinality column alive — and can
+// never exceed the new row count.
+func (c *ColStat) scaled(f float64, newRows float64) *ColStat {
+	out := c.clone()
+	if c.Hist != nil {
+		out.Hist = c.Hist.Scale(f)
+	}
+	if f < 1 {
+		oldRows := 0.0
+		if f > 0 {
+			oldRows = newRows / f
+		}
+		out.Distinct = histogram.YaoDistinct(c.Distinct, oldRows, f)
+	}
+	if out.Distinct > newRows {
+		out.Distinct = newRows
+	}
+	if out.Distinct < 1 && newRows >= 1 {
+		out.Distinct = 1
+	}
+	return out
+}
+
+// Edge describes the data flowing along one DAG edge (a base-table scan
+// after filtering+projection, or a job's output): row count, average tuple
+// width, and per-column statistics for the columns that survive.
+type Edge struct {
+	Rows  float64
+	Width float64 // average tuple width in bytes
+	// Cols is keyed by "table.column".
+	Cols map[string]*ColStat
+}
+
+// Bytes returns the edge's data volume.
+func (e *Edge) Bytes() float64 { return e.Rows * e.Width }
+
+// Col returns the statistics for the given qualified column, or nil.
+func (e *Edge) Col(key string) *ColStat { return e.Cols[key] }
+
+// scaledEdge returns the edge after multiplying rows by f.
+func (e *Edge) scaledEdge(f float64) *Edge {
+	out := &Edge{Rows: e.Rows * f, Width: e.Width, Cols: make(map[string]*ColStat, len(e.Cols))}
+	for k, c := range e.Cols {
+		out.Cols[k] = c.scaled(f, out.Rows)
+	}
+	return out
+}
+
+// mergeEdges combines the column sets of two join inputs into the join
+// output edge with the given result row count. Each side's columns are
+// scaled by the side's multiplication factor — the Bell et al. technique
+// the paper leverages to carry a key's distribution through an earlier
+// join on a different key.
+func mergeEdges(left, right *Edge, outRows float64) *Edge {
+	out := &Edge{Rows: outRows, Width: left.Width + right.Width,
+		Cols: make(map[string]*ColStat, len(left.Cols)+len(right.Cols))}
+	scaleInto := func(e *Edge) {
+		f := 1.0
+		if e.Rows > 0 {
+			f = outRows / e.Rows
+		}
+		for k, c := range e.Cols {
+			nc := c.scaled(f, outRows)
+			// The shuffle reorders rows by the join key, destroying any
+			// physical clustering the input columns had.
+			nc.Clustered = false
+			out.Cols[k] = nc
+		}
+	}
+	scaleInto(left)
+	scaleInto(right)
+	return out
+}

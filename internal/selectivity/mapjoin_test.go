@@ -1,0 +1,150 @@
+package selectivity
+
+import (
+	"math"
+	"testing"
+
+	"saqp/internal/query"
+)
+
+func TestMapJoinPreludeEstimate(t *testing.T) {
+	// Q14-shaped: the part⋈lineitem broadcast join folds into the
+	// aggregation job; estimates must match the unmerged three-job plan's
+	// final numbers.
+	merged := estimateSQL(t, `SELECT /*+ MAPJOIN(part) */ p_type, sum(l_extendedprice)
+		FROM part JOIN lineitem ON l_partkey = p_partkey
+		WHERE l_shipdate < 9000 GROUP BY p_type`, 1)
+	plain := estimateSQL(t, `SELECT p_type, sum(l_extendedprice)
+		FROM part JOIN lineitem ON l_partkey = p_partkey
+		WHERE l_shipdate < 9000 GROUP BY p_type`, 1)
+
+	if len(merged.Jobs) != 1 || len(plain.Jobs) != 2 {
+		t.Fatalf("plan shapes: merged %d jobs, plain %d jobs", len(merged.Jobs), len(plain.Jobs))
+	}
+	m, p := merged.Jobs[0], plain.Jobs[1]
+	// Same final cardinality (p_type groups).
+	if relErr(m.OutRows, p.OutRows) > 0.05 {
+		t.Fatalf("merged out rows %v vs plain %v", m.OutRows, p.OutRows)
+	}
+	// The merged job reads both tables.
+	if relErr(m.InBytes, plain.Jobs[0].InBytes) > 0.05 {
+		t.Fatalf("merged D_in %v vs join D_in %v", m.InBytes, plain.Jobs[0].InBytes)
+	}
+	if m.NumReduces < 1 {
+		t.Fatal("merged aggregation lost its reduce phase")
+	}
+	// Per-map input includes the broadcast table as side data.
+	if len(m.MapGroups) == 0 {
+		t.Fatal("no map groups")
+	}
+	var groupTotal float64
+	for _, g := range m.MapGroups {
+		groupTotal += g.InBytes * float64(g.Count)
+	}
+	if groupTotal <= m.scanBytes-1 {
+		t.Fatalf("map group bytes %v below scan bytes %v", groupTotal, m.scanBytes)
+	}
+}
+
+func TestMapJoinPreludePercolatesSelectivity(t *testing.T) {
+	// The broadcast side's predicate must shrink the downstream join's
+	// output, just as it would through a standalone join job. (A groupby
+	// consumer would hide this: its combine output is bounded by key
+	// cardinality either way.)
+	filtered := estimateSQL(t, `SELECT /*+ MAPJOIN(n) */ ps_partkey, sum(ps_supplycost)
+		FROM nation n JOIN supplier s ON s.s_nationkey = n.n_nationkey AND n.n_nationkey < 5
+		JOIN partsupp ps ON ps.ps_suppkey = s.s_suppkey
+		GROUP BY ps_partkey`, 1)
+	full := estimateSQL(t, `SELECT /*+ MAPJOIN(n) */ ps_partkey, sum(ps_supplycost)
+		FROM nation n JOIN supplier s ON s.s_nationkey = n.n_nationkey
+		JOIN partsupp ps ON ps.ps_suppkey = s.s_suppkey
+		GROUP BY ps_partkey`, 1)
+	// Both plans: merged shuffle join (J1 with nation prelude) + groupby.
+	fj, pj := filtered.Jobs[0], full.Jobs[0]
+	if fj.Job.Type.String() != "Join" || len(fj.Job.MapJoins) != 1 {
+		t.Fatalf("unexpected merged shape: %s", fj.Job.Label())
+	}
+	// nation < 5 keeps 20% of nations -> ~20% of suppliers -> ~20% of the
+	// partsupp join output.
+	ratio := fj.OutRows / pj.OutRows
+	if ratio < 0.1 || ratio > 0.35 {
+		t.Fatalf("broadcast-side filter not percolated: ratio %v (rows %v vs %v)",
+			ratio, fj.OutRows, pj.OutRows)
+	}
+}
+
+func TestInPredicateSelectivity(t *testing.T) {
+	qe := estimateSQL(t, `SELECT l_orderkey FROM lineitem WHERE l_quantity IN (1, 2, 3, 4, 5)`, 0.1)
+	j := qe.Jobs[0]
+	want := 0.1 * float64(6_000_000) * 5 / 50 // 10% of domain values
+	if relErr(j.OutRows, want) > 0.1 {
+		t.Fatalf("IN out rows = %v, want ~%v", j.OutRows, want)
+	}
+}
+
+func TestInSelectivityStringFallback(t *testing.T) {
+	cs := &ColStat{Distinct: 10, Width: 8}
+	p := query.Predicate{Op: query.OpIN, Set: []query.Literal{
+		query.StrLit("a"), query.StrLit("b"), query.StrLit("c"),
+	}}
+	if got := inSelectivity(cs, p); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("string IN selectivity = %v, want 0.3", got)
+	}
+	// Saturates at 1.
+	big := query.Predicate{Op: query.OpIN}
+	for i := 0; i < 50; i++ {
+		big.Set = append(big.Set, query.StrLit("x"))
+	}
+	if got := inSelectivity(cs, big); got != 1 {
+		t.Fatalf("saturated IN = %v", got)
+	}
+}
+
+func TestYaoScaledColumnSurvivesFilter(t *testing.T) {
+	// Filtering half the rows of a 50-value column keeps ~all 50 values.
+	qe := estimateSQL(t, `SELECT l_quantity, count(*) FROM lineitem
+		WHERE l_shipdate < 9300 GROUP BY l_quantity`, 0.1)
+	j := qe.Jobs[0]
+	if j.OutRows < 45 || j.OutRows > 50 {
+		t.Fatalf("surviving groups = %v, want ~50", j.OutRows)
+	}
+}
+
+func TestReduceSkewGroups(t *testing.T) {
+	// A Zipf-skewed fact-fact join must produce a hot reduce group; a
+	// uniform-key join must not.
+	skew := estimateSQL(t, `SELECT ss_quantity FROM store_sales JOIN web_sales ON ws_item_sk = ss_item_sk`, 80)
+	uni := estimateSQL(t, `SELECT c_name FROM customer JOIN orders ON o_custkey = c_custkey`, 80)
+
+	sj := skew.Jobs[0]
+	if len(sj.ReduceGroups) != 2 {
+		t.Fatalf("skewed join reduce groups = %d, want hot+rest", len(sj.ReduceGroups))
+	}
+	hot, rest := sj.ReduceGroups[0], sj.ReduceGroups[1]
+	if hot.Count != 1 {
+		t.Fatalf("hot group count = %d", hot.Count)
+	}
+	if hot.InBytes <= 2*rest.InBytes {
+		t.Fatalf("hot reducer %v not much bigger than typical %v", hot.InBytes, rest.InBytes)
+	}
+	// Total mass conserved.
+	total := hot.InBytes*float64(hot.Count) + rest.InBytes*float64(rest.Count)
+	if relErr(total, sj.MedBytes) > 1e-6 {
+		t.Fatalf("reduce groups lose mass: %v vs %v", total, sj.MedBytes)
+	}
+
+	uj := uni.Jobs[0]
+	if len(uj.ReduceGroups) != 1 {
+		t.Fatalf("uniform join should have one reduce group, got %d", len(uj.ReduceGroups))
+	}
+}
+
+func TestGroupbyReducesStayUniform(t *testing.T) {
+	// The map-side combine collapses hot keys, so groupby shuffles have no
+	// hot partition even over Zipf keys.
+	qe := estimateSQL(t, `SELECT ss_item_sk, count(*) FROM store_sales GROUP BY ss_item_sk`, 1)
+	j := qe.Jobs[0]
+	if len(j.ReduceGroups) != 1 {
+		t.Fatalf("combined groupby reduce groups = %d, want 1", len(j.ReduceGroups))
+	}
+}

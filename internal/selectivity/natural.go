@@ -1,0 +1,31 @@
+package selectivity
+
+import "math"
+
+// NaturalJoinTable describes one table in a PK–FK natural-join tree with
+// its local predicate selectivity.
+type NaturalJoinTable struct {
+	Rows  float64
+	SPred float64
+}
+
+// NaturalJoinChainRows implements the paper's Eq. 6 for natural joins
+// (each operator joins one table's primary key with another's foreign key,
+// under referential integrity) with local predicates on each table:
+//
+//	|T1.pred1 ⋈ ... ⋈ Tn.predn| = S_pred1 · S_pred2 · ... · S_predn × max(|T1|, ..., |Tn|)
+//
+// Selectivities accumulate along the branches of the join tree, so the
+// result is the largest table scaled by every predicate.
+func NaturalJoinChainRows(tables []NaturalJoinTable) float64 {
+	if len(tables) == 0 {
+		return 0
+	}
+	prod := 1.0
+	maxRows := 0.0
+	for _, t := range tables {
+		prod *= clamp01(t.SPred)
+		maxRows = math.Max(maxRows, t.Rows)
+	}
+	return prod * maxRows
+}

@@ -1,0 +1,215 @@
+package selectivity
+
+import (
+	"math"
+	"sort"
+
+	"saqp/internal/histogram"
+	"saqp/internal/query"
+)
+
+// defaultIneqSel is the textbook fallback selectivity for inequality
+// predicates on columns without histograms (strings).
+const defaultIneqSel = 1.0 / 3.0
+
+// PredSelectivity estimates the fraction of rows satisfying one predicate
+// against a column with the given statistics. Numeric columns use the
+// equi-width histogram; string columns use distinct counts for equality
+// and the standard 1/3 heuristic for inequalities. IN lists sum the
+// per-member equality selectivities.
+func PredSelectivity(cs *ColStat, p query.Predicate) float64 {
+	if cs == nil {
+		return defaultIneqSel
+	}
+	if p.Op == query.OpIN {
+		return inSelectivity(cs, p)
+	}
+	if cs.Hist == nil || p.Lit.IsString {
+		return stringPredSelectivity(cs, p)
+	}
+	x := p.Lit.F
+	h := cs.Hist
+	// One distinct step, for translating closed/open bounds.
+	eq := h.SelectivityEQ(x)
+	switch p.Op {
+	case query.OpEQ:
+		return eq
+	case query.OpNE:
+		return clamp01(1 - eq)
+	case query.OpLT:
+		return h.SelectivityLT(x)
+	case query.OpLE:
+		return clamp01(h.SelectivityLT(x) + eq)
+	case query.OpGE:
+		return h.SelectivityGE(x)
+	case query.OpGT:
+		return clamp01(h.SelectivityGE(x) - eq)
+	}
+	return defaultIneqSel
+}
+
+// inSelectivity sums equality selectivities over an IN list's members.
+func inSelectivity(cs *ColStat, p query.Predicate) float64 {
+	var s float64
+	d := cs.Distinct
+	if d < 1 {
+		d = 1
+	}
+	for _, lit := range p.Set {
+		if cs.Hist != nil && !lit.IsString {
+			s += cs.Hist.SelectivityEQ(lit.F)
+		} else {
+			s += 1 / d
+		}
+	}
+	return clamp01(s)
+}
+
+// stringPredSelectivity handles predicates whose column lacks a histogram.
+func stringPredSelectivity(cs *ColStat, p query.Predicate) float64 {
+	d := cs.Distinct
+	if d < 1 {
+		d = 1
+	}
+	switch p.Op {
+	case query.OpEQ:
+		return clamp01(1 / d)
+	case query.OpNE:
+		return clamp01(1 - 1/d)
+	default:
+		return defaultIneqSel
+	}
+}
+
+// ConjunctionSelectivity estimates the fraction of rows passing all
+// conjuncts. Predicates on *different* columns multiply under the
+// independence assumption (the approach the paper's S_pred inherits from
+// the histogram literature it cites); predicates on the *same* numeric
+// column are intersected exactly by filtering the histogram sequentially —
+// BETWEEN-style range pairs are not independent events.
+func ConjunctionSelectivity(cols map[string]*ColStat, preds []query.Predicate) float64 {
+	byCol := map[string][]query.Predicate{}
+	var order []string
+	for _, p := range preds {
+		if p.IsJoin() {
+			continue
+		}
+		key := p.Left.String()
+		if _, ok := byCol[key]; !ok {
+			order = append(order, key)
+		}
+		byCol[key] = append(byCol[key], p)
+	}
+	sort.Strings(order)
+	s := 1.0
+	for _, key := range order {
+		s *= columnConjunction(cols[key], byCol[key])
+	}
+	return clamp01(s)
+}
+
+// columnConjunction combines all conjuncts on one column: histogram-maskable
+// comparisons are intersected through sequential Filter calls; the rest
+// (IN lists, string predicates) multiply in.
+func columnConjunction(cs *ColStat, ps []query.Predicate) float64 {
+	s := 1.0
+	if cs != nil && cs.Hist != nil {
+		h := cs.Hist
+		orig := h.Rows()
+		masked := false
+		for _, p := range ps {
+			if p.Op != query.OpIN && !p.Lit.IsString {
+				h = h.Filter(cmpToHist(p.Op), p.Lit.F)
+				masked = true
+			} else {
+				s *= PredSelectivity(cs, p)
+			}
+		}
+		if masked && orig > 0 {
+			s *= clamp01(h.Rows() / orig)
+		}
+		return clamp01(s)
+	}
+	for _, p := range ps {
+		s *= PredSelectivity(cs, p)
+	}
+	return clamp01(s)
+}
+
+// cmpToHist maps query comparison operators to histogram filter operators.
+func cmpToHist(op query.CmpOp) histogram.CmpOp {
+	switch op {
+	case query.OpEQ:
+		return histogram.CmpEQ
+	case query.OpNE:
+		return histogram.CmpNE
+	case query.OpLT:
+		return histogram.CmpLT
+	case query.OpLE:
+		return histogram.CmpLE
+	case query.OpGT:
+		return histogram.CmpGT
+	}
+	return histogram.CmpGE
+}
+
+// filterColumns applies scan predicates to every column's statistics.
+// Predicates on a column itself reshape that column's histogram via Filter
+// (zeroing excluded buckets — crucial when the column later joins);
+// predicates on *other* columns scale it uniformly, per the independence
+// assumption. newRows is the filtered row count |T|·S_pred.
+func filterColumns(cols map[string]*ColStat, preds []query.Predicate, newRows float64) map[string]*ColStat {
+	out := make(map[string]*ColStat, len(cols))
+	for key, cs := range cols {
+		var own float64 = 1
+		// ownUnapplied accumulates own-column selectivity that could not be
+		// expressed as a precise histogram mask (IN lists, string ops) and
+		// must be applied as a uniform scale instead.
+		ownUnapplied := 1.0
+		var otherPreds []query.Predicate
+		nc := cs.clone()
+		for _, p := range preds {
+			if p.IsJoin() {
+				continue
+			}
+			if p.Left.String() != key {
+				otherPreds = append(otherPreds, p)
+				continue
+			}
+			s := PredSelectivity(cols[key], p)
+			own *= s
+			if nc.Hist != nil && p.Op != query.OpIN && !p.Lit.IsString {
+				nc.Hist = nc.Hist.Filter(cmpToHist(p.Op), p.Lit.F)
+			} else {
+				ownUnapplied *= s
+			}
+		}
+		// Other-column conjuncts scale uniformly; use the same intersection
+		// semantics as ConjunctionSelectivity so range pairs combine right.
+		others := ConjunctionSelectivity(cols, otherPreds)
+		if nc.Hist != nil {
+			nc.Hist = nc.Hist.Scale(others * ownUnapplied)
+			nc.Distinct = math.Min(nc.Hist.DistinctTotal(), newRows)
+		} else {
+			nc.Distinct = cs.Distinct * own
+			if nc.Distinct > newRows {
+				nc.Distinct = newRows
+			}
+		}
+		if nc.Distinct < 1 && newRows >= 1 {
+			nc.Distinct = 1
+		}
+		out[key] = nc
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

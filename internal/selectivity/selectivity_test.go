@@ -1,0 +1,395 @@
+package selectivity
+
+import (
+	"math"
+	"testing"
+
+	"saqp/internal/catalog"
+	"saqp/internal/dataset"
+	"saqp/internal/plan"
+	"saqp/internal/query"
+)
+
+// estimateSQL parses, resolves, compiles and estimates a query against an
+// analytic catalog at the given scale factor.
+func estimateSQL(t *testing.T, src string, sf float64) *QueryEstimate {
+	t.Helper()
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	schemas := dataset.AllSchemas()
+	if err := query.Resolve(q, schemas); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	d, err := plan.Compile(q)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var list []*dataset.Schema
+	for _, s := range schemas {
+		list = append(list, s)
+	}
+	cat := catalog.FromSchemas(list, sf, catalog.DefaultBuckets)
+	qe, err := NewEstimator(cat, Config{}).EstimateQuery(d)
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	return qe
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+const q11 = `SELECT ps_partkey, sum(ps_supplycost*ps_availqty)
+FROM nation n JOIN supplier s ON s.s_nationkey = n.n_nationkey AND n.n_name <> 'CHINA'
+JOIN partsupp ps ON ps.ps_suppkey = s.s_suppkey
+GROUP BY ps_partkey`
+
+// TestQ11PaperWalkthrough reproduces the paper's Section 3.2/Figure 5
+// numbers: a 96% predicate selectivity on nation relayed along the chain,
+// and a groupby output cardinality of ~200,000 (the ps_partkey domain).
+func TestQ11PaperWalkthrough(t *testing.T) {
+	qe := estimateSQL(t, q11, 1)
+	j1, j2, j3 := qe.ByID["J1"], qe.ByID["J2"], qe.ByID["J3"]
+
+	// J1 joins nation (25 rows, 96% pass) with supplier (10,000 rows,
+	// PK-FK): output ≈ 9,600 tuples.
+	if e := relErr(j1.OutRows, 9600); e > 0.05 {
+		t.Fatalf("J1 out rows = %v, want ~9600 (err %.2f)", j1.OutRows, e)
+	}
+	// J2 joins that with partsupp (800,000 rows): ≈ 768,000 tuples.
+	if e := relErr(j2.OutRows, 768000); e > 0.08 {
+		t.Fatalf("J2 out rows = %v, want ~768000 (err %.2f)", j2.OutRows, e)
+	}
+	// J3 groups by ps_partkey: cardinality ≈ 200,000 per the paper.
+	if e := relErr(j3.OutRows, 200000); e > 0.08 {
+		t.Fatalf("J3 out rows = %v, want ~200000 (err %.2f)", j3.OutRows, e)
+	}
+}
+
+func TestExtractSelectivity(t *testing.T) {
+	// l_quantity uniform over [1,50]; < 11 passes ~20% of rows.
+	qe := estimateSQL(t, `SELECT l_orderkey FROM lineitem WHERE l_quantity < 11`, 0.1)
+	j := qe.Jobs[0]
+	// S_proj: 2 of 14 columns; both 8-byte of a ~134-byte tuple.
+	liWidth := float64(dataset.LineItem().AvgTupleWidth())
+	wantIS := 0.2 * (16 / liWidth)
+	if e := relErr(j.IS, wantIS); e > 0.10 {
+		t.Fatalf("Extract IS = %v, want ~%v", j.IS, wantIS)
+	}
+	wantRows := 0.2 * float64(dataset.LineItem().RowsAt(0.1))
+	if e := relErr(j.OutRows, wantRows); e > 0.10 {
+		t.Fatalf("Extract out rows = %v, want ~%v", j.OutRows, wantRows)
+	}
+	if j.P != 0 {
+		t.Fatalf("non-join job has P = %v", j.P)
+	}
+}
+
+func TestMapOnlyJobHasNoReduces(t *testing.T) {
+	qe := estimateSQL(t, `SELECT l_orderkey FROM lineitem WHERE l_quantity < 11`, 0.1)
+	j := qe.Jobs[0]
+	if !j.Job.MapOnly {
+		t.Fatal("expected map-only job")
+	}
+	if j.NumReduces != 0 {
+		t.Fatalf("map-only job has %d reduces", j.NumReduces)
+	}
+}
+
+func TestLimitCapsOutput(t *testing.T) {
+	qe := estimateSQL(t, `SELECT l_orderkey FROM lineitem LIMIT 10`, 0.1)
+	j := qe.Jobs[0]
+	if j.OutRows != 10 {
+		t.Fatalf("limit out rows = %v", j.OutRows)
+	}
+	if j.FS <= 0 || j.FS >= 1e-3 {
+		t.Fatalf("limit FS = %v, should be tiny but positive", j.FS)
+	}
+}
+
+func TestOrderByKeepsAllRows(t *testing.T) {
+	qe := estimateSQL(t, `SELECT l_orderkey FROM lineitem ORDER BY l_orderkey`, 0.01)
+	j := qe.Jobs[0]
+	rows := float64(dataset.LineItem().RowsAt(0.01))
+	if e := relErr(j.OutRows, rows); e > 0.01 {
+		t.Fatalf("sort dropped rows: %v of %v", j.OutRows, rows)
+	}
+}
+
+func TestGroupbyClusteredVsRandom(t *testing.T) {
+	// l_orderkey is clustered, l_partkey is not. With identical cardinality
+	// ratios, the random case must combine less effectively (bigger IS)
+	// whenever multiple blocks are scanned.
+	clustered := estimateSQL(t, `SELECT l_orderkey, count(*) FROM lineitem GROUP BY l_orderkey`, 1)
+	random := estimateSQL(t, `SELECT l_partkey, count(*) FROM lineitem GROUP BY l_partkey`, 1)
+	cj, rj := clustered.Jobs[0], random.Jobs[0]
+	if cj.NumMaps < 2 {
+		t.Fatalf("need multi-block input for this test, got %d maps", cj.NumMaps)
+	}
+	// Clustered (Eq. 2, first case): S_comb = d/|T| = 1.5e6/6e6 = 0.25.
+	dClu := 1.5e6 / 6e6
+	if got := cj.MedRows / cj.InRows; relErr(got, dClu) > 0.05 {
+		t.Fatalf("clustered S_comb = %v, want ~%v", got, dClu)
+	}
+	// Random (Eq. 2, second case): S_comb = min(1, d/(|T|/Nmaps)) — an
+	// Nmaps-fold penalty over what clustering would have given this key.
+	nMaps := float64(rj.NumMaps)
+	dRand := math.Min(1, 2e5/(6e6/nMaps))
+	if got := rj.MedRows / rj.InRows; relErr(got, dRand) > 0.05 {
+		t.Fatalf("random S_comb = %v, want ~%v", got, dRand)
+	}
+	if ifClustered := 2e5 / 6e6; relErr(dRand, nMaps*ifClustered) > 1e-9 {
+		t.Fatalf("random-case penalty is not Nmaps-fold: %v vs %v", dRand, nMaps*ifClustered)
+	}
+}
+
+func TestGroupbyOutputCardinality(t *testing.T) {
+	qe := estimateSQL(t, `SELECT l_quantity, sum(l_extendedprice) FROM lineitem GROUP BY l_quantity`, 0.1)
+	j := qe.Jobs[0]
+	if j.OutRows != 50 {
+		t.Fatalf("groupby out rows = %v, want 50 (key cardinality)", j.OutRows)
+	}
+}
+
+func TestGroupbyPredicateCapsCardinality(t *testing.T) {
+	// After a very selective filter, |Out| = |T|·S_pred < d_key.
+	qe := estimateSQL(t, `SELECT l_orderkey, count(*) FROM lineitem WHERE l_quantity = 1 GROUP BY l_orderkey`, 0.01)
+	j := qe.Jobs[0]
+	rows := float64(dataset.LineItem().RowsAt(0.01))
+	want := rows * 0.02 // 1/50
+	if e := relErr(j.OutRows, want); e > 0.2 {
+		t.Fatalf("filtered groupby out rows = %v, want ~%v", j.OutRows, want)
+	}
+}
+
+func TestGlobalAggregateSingleRow(t *testing.T) {
+	qe := estimateSQL(t, `SELECT count(*) FROM orders`, 0.1)
+	j := qe.Jobs[0]
+	if j.OutRows != 1 {
+		t.Fatalf("global aggregate out rows = %v, want 1", j.OutRows)
+	}
+}
+
+func TestJoinPKFKCardinality(t *testing.T) {
+	// customer ⋈ orders on custkey: PK-FK, output ≈ |orders|.
+	qe := estimateSQL(t, `SELECT c_name FROM customer JOIN orders ON o_custkey = c_custkey`, 0.1)
+	j := qe.Jobs[0]
+	want := float64(dataset.Orders().RowsAt(0.1))
+	if e := relErr(j.OutRows, want); e > 0.25 {
+		t.Fatalf("PK-FK join rows = %v, want ~%v (err %.2f)", j.OutRows, want, e)
+	}
+}
+
+func TestJoinBalanceRatio(t *testing.T) {
+	qe := estimateSQL(t, `SELECT c_name FROM customer JOIN orders ON o_custkey = c_custkey`, 0.1)
+	j := qe.Jobs[0]
+	// customer 15k rows vs orders 150k rows: P = 150/(165) ≈ 0.909.
+	if e := relErr(j.P, 150.0/165.0); e > 0.02 {
+		t.Fatalf("P = %v, want ~0.909", j.P)
+	}
+	pf := j.PFactor()
+	if pf <= 0 || pf > 0.25 {
+		t.Fatalf("P(1-P) = %v outside (0, 1/4]", pf)
+	}
+}
+
+func TestJoinISMixesInputs(t *testing.T) {
+	// Eq. 3: with no predicates, IS is the byte-weighted S_proj mix.
+	qe := estimateSQL(t, `SELECT c_name FROM customer JOIN orders ON o_custkey = c_custkey`, 0.1)
+	j := qe.Jobs[0]
+	cust, ord := dataset.Customer(), dataset.Orders()
+	bc, bo := float64(cust.BytesAt(0.1)), float64(ord.BytesAt(0.1))
+	// customer scan needs c_name(18)+c_custkey(8); orders needs o_custkey(8).
+	sProjC := 26.0 / float64(cust.AvgTupleWidth())
+	sProjO := 8.0 / float64(ord.AvgTupleWidth())
+	want := (bc*sProjC + bo*sProjO) / (bc + bo)
+	if e := relErr(j.IS, want); e > 0.02 {
+		t.Fatalf("join IS = %v, want ~%v", j.IS, want)
+	}
+}
+
+func TestTaskCounts(t *testing.T) {
+	qe := estimateSQL(t, `SELECT l_orderkey FROM lineitem ORDER BY l_orderkey`, 1)
+	j := qe.Jobs[0]
+	liBytes := float64(dataset.LineItem().BytesAt(1))
+	wantMaps := int(math.Ceil(liBytes / (float64(256<<20) * FragFactor("lineitem"))))
+	if j.NumMaps != wantMaps {
+		t.Fatalf("maps = %d, want %d", j.NumMaps, wantMaps)
+	}
+	if len(j.MapGroups) != 1 || j.MapGroups[0].Count != wantMaps {
+		t.Fatalf("map groups wrong: %+v", j.MapGroups)
+	}
+	if got := j.MapGroups[0].InBytes * float64(wantMaps); math.Abs(got-liBytes) > 1 {
+		t.Fatalf("group input bytes %v do not sum to %v", got, liBytes)
+	}
+	if j.NumReduces < 1 {
+		t.Fatalf("reduces = %d", j.NumReduces)
+	}
+}
+
+func TestMaxReducesCap(t *testing.T) {
+	var list []*dataset.Schema
+	for _, s := range dataset.AllSchemas() {
+		list = append(list, s)
+	}
+	cat := catalog.FromSchemas(list, 10, catalog.DefaultBuckets)
+	q, _ := query.Parse(`SELECT l_orderkey FROM lineitem ORDER BY l_orderkey`)
+	if err := query.Resolve(q, dataset.AllSchemas()); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := plan.Compile(q)
+	qe, err := NewEstimator(cat, Config{MaxReduces: 4}).EstimateQuery(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe.Jobs[0].NumReduces > 4 {
+		t.Fatalf("reduce cap violated: %d", qe.Jobs[0].NumReduces)
+	}
+}
+
+func TestSelectivityInvariants(t *testing.T) {
+	queries := []string{
+		q11,
+		`SELECT l_orderkey FROM lineitem WHERE l_quantity < 30 ORDER BY l_orderkey LIMIT 5`,
+		`SELECT c_name, count(*) FROM customer JOIN orders ON o_custkey = c_custkey WHERE o_totalprice > 5000 GROUP BY c_name`,
+		`SELECT i_brand, sum(ss_sales_price) FROM item JOIN store_sales ON ss_item_sk = i_item_sk GROUP BY i_brand`,
+	}
+	for _, src := range queries {
+		qe := estimateSQL(t, src, 0.5)
+		for _, j := range qe.Jobs {
+			if j.IS < 0 || j.IS > 1 {
+				t.Fatalf("%s: IS = %v outside [0,1] for %s", src, j.IS, j.Job.ID)
+			}
+			if j.FS < 0 {
+				t.Fatalf("%s: FS = %v negative for %s", src, j.FS, j.Job.ID)
+			}
+			if j.MedBytes > j.InBytes {
+				t.Fatalf("%s: D_med %v > D_in %v for %s", src, j.MedBytes, j.InBytes, j.Job.ID)
+			}
+			if j.NumMaps < 1 {
+				t.Fatalf("%s: no maps for %s", src, j.Job.ID)
+			}
+			if pf := j.PFactor(); pf < 0 || pf > 0.25 {
+				t.Fatalf("%s: P(1-P) = %v for %s", src, pf, j.Job.ID)
+			}
+			if j.OutEdge == nil || j.OutEdge.Rows < 0 {
+				t.Fatalf("%s: bad out edge for %s", src, j.Job.ID)
+			}
+		}
+	}
+}
+
+func TestZipfJoinBeatsUniformFormula(t *testing.T) {
+	// store_sales.ss_item_sk is Zipf-skewed; Eq. 5 must predict more output
+	// than the naive uniform formula (skew inflates join sizes).
+	qe := estimateSQL(t, `SELECT i_brand FROM item JOIN store_sales ON ss_item_sk = i_item_sk`, 0.2)
+	j := qe.Jobs[0]
+	item, ss := dataset.Item(), dataset.StoreSales()
+	naive := float64(ss.RowsAt(0.2)) * float64(item.RowsAt(0.2)) / float64(item.RowsAt(0.2))
+	// PK-FK with referential integrity: truth is |store_sales| = naive here,
+	// so Eq. 5 should stay within a factor ~2 of it despite skew.
+	if j.OutRows < naive*0.5 || j.OutRows > naive*2 {
+		t.Fatalf("skewed PK-FK join estimate %v too far from %v", j.OutRows, naive)
+	}
+}
+
+func TestNaturalJoinChainRows(t *testing.T) {
+	// Eq. 6: three tables with predicates.
+	got := NaturalJoinChainRows([]NaturalJoinTable{
+		{Rows: 25, SPred: 0.96},
+		{Rows: 10000, SPred: 1},
+		{Rows: 800000, SPred: 1},
+	})
+	if got != 0.96*800000 {
+		t.Fatalf("Eq.6 rows = %v, want %v", got, 0.96*800000)
+	}
+	if NaturalJoinChainRows(nil) != 0 {
+		t.Fatal("empty chain should be 0")
+	}
+}
+
+func TestTotalInputBytes(t *testing.T) {
+	qe := estimateSQL(t, q11, 1)
+	want := float64(dataset.Nation().BytesAt(1) + dataset.Supplier().BytesAt(1) + dataset.PartSupp().BytesAt(1))
+	if e := relErr(qe.TotalInputBytes(), want); e > 1e-9 {
+		t.Fatalf("TotalInputBytes = %v, want %v", qe.TotalInputBytes(), want)
+	}
+}
+
+func TestPredSelectivityOperators(t *testing.T) {
+	cat := catalog.FromSchema(dataset.LineItem(), 0.1, 64)
+	cs := &ColStat{
+		Hist:     cat.Column("l_quantity").Hist,
+		Distinct: float64(cat.Column("l_quantity").Distinct),
+		Width:    8,
+	}
+	mk := func(op query.CmpOp, v float64) query.Predicate {
+		return query.Predicate{Left: query.ColumnRef{Table: "lineitem", Column: "l_quantity"}, Op: op, Lit: query.NumLit(v)}
+	}
+	lt := PredSelectivity(cs, mk(query.OpLT, 26))
+	le := PredSelectivity(cs, mk(query.OpLE, 26))
+	gt := PredSelectivity(cs, mk(query.OpGT, 26))
+	ge := PredSelectivity(cs, mk(query.OpGE, 26))
+	eq := PredSelectivity(cs, mk(query.OpEQ, 26))
+	ne := PredSelectivity(cs, mk(query.OpNE, 26))
+	if math.Abs(lt+eq-le) > 1e-9 {
+		t.Fatalf("LE != LT+EQ: %v + %v vs %v", lt, eq, le)
+	}
+	if math.Abs(ge-eq-gt) > 1e-9 {
+		t.Fatalf("GT != GE-EQ")
+	}
+	if math.Abs(lt+ge-1) > 1e-9 {
+		t.Fatalf("LT+GE != 1: %v", lt+ge)
+	}
+	if math.Abs(eq+ne-1) > 1e-9 {
+		t.Fatalf("EQ+NE != 1")
+	}
+	if e := relErr(eq, 0.02); e > 0.2 {
+		t.Fatalf("EQ = %v, want ~1/50", eq)
+	}
+}
+
+func TestPredSelectivityStringAndNil(t *testing.T) {
+	cs := &ColStat{Distinct: 25, Width: 12}
+	eq := query.Predicate{Op: query.OpEQ, Lit: query.StrLit("x")}
+	ne := query.Predicate{Op: query.OpNE, Lit: query.StrLit("x")}
+	lt := query.Predicate{Op: query.OpLT, Lit: query.StrLit("x")}
+	if got := PredSelectivity(cs, eq); got != 0.04 {
+		t.Fatalf("string EQ = %v", got)
+	}
+	if got := PredSelectivity(cs, ne); got != 0.96 {
+		t.Fatalf("string NE = %v", got)
+	}
+	if got := PredSelectivity(cs, lt); got != defaultIneqSel {
+		t.Fatalf("string LT = %v", got)
+	}
+	if got := PredSelectivity(nil, eq); got != defaultIneqSel {
+		t.Fatalf("nil stats = %v", got)
+	}
+}
+
+func TestConjunctionIndependence(t *testing.T) {
+	cat := catalog.FromSchema(dataset.LineItem(), 0.1, 64)
+	mkCS := func(name string) *ColStat {
+		c := cat.Column(name)
+		return &ColStat{Hist: c.Hist, Distinct: float64(c.Distinct), Width: c.AvgWidth}
+	}
+	cols := map[string]*ColStat{
+		"lineitem.l_quantity": mkCS("l_quantity"),
+		"lineitem.l_discount": mkCS("l_discount"),
+	}
+	p1 := query.Predicate{Left: query.ColumnRef{Table: "lineitem", Column: "l_quantity"}, Op: query.OpLT, Lit: query.NumLit(26)}
+	p2 := query.Predicate{Left: query.ColumnRef{Table: "lineitem", Column: "l_discount"}, Op: query.OpLT, Lit: query.NumLit(0.05)}
+	s1 := PredSelectivity(cols["lineitem.l_quantity"], p1)
+	s2 := PredSelectivity(cols["lineitem.l_discount"], p2)
+	both := ConjunctionSelectivity(cols, []query.Predicate{p1, p2})
+	if math.Abs(both-s1*s2) > 1e-12 {
+		t.Fatalf("conjunction %v != %v * %v", both, s1, s2)
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(New(1), 1.2, 1, 1000)
+	for i := 0; i < 10000; i++ {
+		if v := z.Uint64(); v >= 1000 {
+			t.Fatalf("Zipf value %d out of [0,1000)", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Higher exponent concentrates more mass on small values.
+	countZero := func(s float64) int {
+		z := NewZipf(New(2), s, 1, 10000)
+		zeros := 0
+		for i := 0; i < 20000; i++ {
+			if z.Uint64() == 0 {
+				zeros++
+			}
+		}
+		return zeros
+	}
+	mild, steep := countZero(1.1), countZero(2.5)
+	if steep <= mild {
+		t.Fatalf("steeper Zipf not more skewed: s=1.1 zeros=%d, s=2.5 zeros=%d", mild, steep)
+	}
+}
+
+func TestZipfMonotoneFrequencies(t *testing.T) {
+	z := NewZipf(New(3), 1.5, 1, 64)
+	counts := make([]int, 64)
+	for i := 0; i < 300000; i++ {
+		counts[z.Uint64()]++
+	}
+	// Rank-frequency must be broadly decreasing; compare rank 0 vs 4 vs 16.
+	if !(counts[0] > counts[4] && counts[4] > counts[16]) {
+		t.Fatalf("frequencies not decreasing: c0=%d c4=%d c16=%d", counts[0], counts[4], counts[16])
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	for _, tc := range []struct {
+		s, v float64
+		n    uint64
+	}{{1.0, 1, 10}, {2, 0.5, 10}, {2, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%v,%v,%d) did not panic", tc.s, tc.v, tc.n)
+				}
+			}()
+			NewZipf(New(1), tc.s, tc.v, tc.n)
+		}()
+	}
+}
+
+func TestClusteredKeysProperties(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, cardRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		card := int64(cardRaw)%500 + 1
+		keys := ClusteredKeys(New(seed), n, card)
+		if len(keys) != n {
+			return false
+		}
+		for _, k := range keys {
+			if k < 0 || k >= card {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredKeysAreClustered(t *testing.T) {
+	// With clustering, the number of adjacent-equal pairs greatly exceeds
+	// that of a random arrangement with the same cardinality.
+	const n, card = 10000, 100
+	adj := func(keys []int64) int {
+		runs := 0
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				runs++
+			}
+		}
+		return runs
+	}
+	clustered := adj(ClusteredKeys(New(4), n, card))
+	random := adj(RandomKeys(New(4), n, card))
+	if clustered <= 3*random {
+		t.Fatalf("clustered keys not clustered: clustered-adj=%d random-adj=%d", clustered, random)
+	}
+}
+
+func TestRandomKeysUniform(t *testing.T) {
+	const n, card = 100000, 10
+	keys := RandomKeys(New(5), n, card)
+	counts := make([]int, card)
+	for _, k := range keys {
+		counts[k]++
+	}
+	expect := float64(n) / card
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Fatalf("key %d count %d deviates from %v", i, c, expect)
+		}
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	z := NewZipf(New(1), 1.3, 1, 1<<20)
+	for i := 0; i < b.N; i++ {
+		_ = z.Uint64()
+	}
+}

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"saqp/internal/catalog"
+	"saqp/internal/cluster"
+	"saqp/internal/dataset"
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+	"saqp/internal/query"
+	"saqp/internal/sched"
+	"saqp/internal/selectivity"
+	"saqp/internal/trace"
+)
+
+// CorpusConfig controls training-corpus construction.
+type CorpusConfig struct {
+	// NumQueries to generate (paper: ~1,000 → ~5,600 jobs).
+	NumQueries int
+	// MinGB and MaxGB bound each query's total input size (paper: 1–100).
+	MinGB, MaxGB float64
+	// Seed drives query generation and the hidden cost model noise.
+	Seed uint64
+	// Cluster sizes the testbed used to collect ground-truth times.
+	Cluster cluster.Config
+	// EstimatorBuckets is the histogram resolution available to the
+	// predictor (offline statistics).
+	EstimatorBuckets int
+	// OracleBuckets is the fine-grained resolution used to derive the
+	// ground truth data volumes that the hidden cost model charges for.
+	OracleBuckets int
+	// Sizing overrides the MapReduce task sizing rules for both statistic
+	// resolutions (block size, bytes/reducer, skew modelling).
+	Sizing selectivity.Config
+}
+
+// DefaultCorpusConfig mirrors the paper's training setup.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		NumQueries:       1000,
+		MinGB:            1,
+		MaxGB:            100,
+		Seed:             2018,
+		Cluster:          cluster.DefaultConfig(),
+		EstimatorBuckets: 64,
+		OracleBuckets:    1024,
+	}
+}
+
+// QueryRun is one corpus query with everything the experiments need: the
+// plan, the predictor-visible estimate, the oracle (ground truth) estimate,
+// and the observed job times from a standalone run on the simulated
+// cluster.
+type QueryRun struct {
+	Query *query.Query
+	Shape Shape
+	SF    float64
+	DAG   *plan.DAG
+	// Est is the estimate from predictor-resolution statistics.
+	Est *selectivity.QueryEstimate
+	// Oracle is the estimate from fine statistics — the stand-in for the
+	// true data volumes the cluster observed.
+	Oracle *selectivity.QueryEstimate
+	// Sim is the executed cluster query (tasks carry observed durations).
+	Sim *cluster.Query
+	// Seconds is the observed standalone execution time.
+	Seconds float64
+}
+
+// Corpus is a generated training/evaluation set.
+type Corpus struct {
+	Runs []*QueryRun
+	// JobSamples pair observed job times with ground-truth features
+	// (training uses observed sizes, as Hadoop logs would provide).
+	JobSamples []predict.JobSample
+	// TaskSamples pair observed task times with ground-truth features.
+	TaskSamples []predict.TaskSample
+}
+
+// SFForTargetBytes converts a target total-input size in bytes to the
+// scale factor at which the query's scanned tables reach it.
+func SFForTargetBytes(q *query.Query, targetBytes float64) float64 {
+	base := InputBytesAtSF1(q, dataset.AllSchemas())
+	if base <= 0 {
+		return 1
+	}
+	sf := targetBytes / base
+	if sf < 0.01 {
+		sf = 0.01
+	}
+	return sf
+}
+
+// CatalogCache builds analytic catalogs per scale factor lazily. Scale
+// factors are continuous, so entries are keyed on rounded sf.
+type CatalogCache struct {
+	buckets int
+	schemas []*dataset.Schema
+	cache   map[int64]*catalog.Catalog
+}
+
+// NewCatalogCache returns a cache producing catalogs with the given
+// histogram resolution.
+func NewCatalogCache(buckets int) *CatalogCache {
+	var list []*dataset.Schema
+	for _, s := range dataset.AllSchemas() {
+		list = append(list, s)
+	}
+	return &CatalogCache{buckets: buckets, schemas: list, cache: map[int64]*catalog.Catalog{}}
+}
+
+// Get returns a catalog for sf, quantised to 1e-3 granularity.
+func (cc *CatalogCache) Get(sf float64) *catalog.Catalog {
+	key := int64(sf * 1000)
+	if c, ok := cc.cache[key]; ok {
+		return c
+	}
+	c := catalog.FromSchemas(cc.schemas, float64(key)/1000, cc.buckets)
+	cc.cache[key] = c
+	return c
+}
+
+// BuildCorpus generates queries, estimates them at both statistic
+// resolutions, executes each standalone on the simulated cluster, and
+// collects job- and task-level training samples. Runs execute in parallel
+// across CPUs; each query gets an independently seeded cost model, so
+// results are deterministic regardless of scheduling.
+func BuildCorpus(cfg CorpusConfig) (*Corpus, error) {
+	if cfg.NumQueries <= 0 {
+		return nil, fmt.Errorf("workload: NumQueries must be positive")
+	}
+	gen := NewGenerator(cfg.Seed)
+	rng := gen.rng.Fork()
+
+	// Phase 1 (sequential, deterministic): draw queries, scales and
+	// per-run cost-model seeds.
+	type drawn struct {
+		q      *query.Query
+		shape  Shape
+		sf     float64
+		cmSeed uint64
+	}
+	draws := make([]drawn, cfg.NumQueries)
+	for i := range draws {
+		q, shape, err := gen.RandomQuery()
+		if err != nil {
+			return nil, err
+		}
+		targetGB := rng.Range(cfg.MinGB, cfg.MaxGB)
+		draws[i] = drawn{q: q, shape: shape, sf: SFForTargetBytes(q, targetGB*1e9), cmSeed: rng.Uint64()}
+	}
+
+	// Pre-warm the catalog caches sequentially: the caches are not
+	// goroutine-safe, and the quantised scale factors repeat heavily.
+	estCache := NewCatalogCache(cfg.EstimatorBuckets)
+	oraCache := NewCatalogCache(cfg.OracleBuckets)
+	for _, d := range draws {
+		estCache.Get(d.sf)
+		oraCache.Get(d.sf)
+	}
+
+	// Phase 2 (parallel): compile, estimate and simulate each run.
+	runs := make([]*QueryRun, len(draws))
+	errs := make([]error, len(draws))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, d := range draws {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, d drawn) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cm := trace.NewDefaultCostModel(d.cmSeed)
+			runs[i], errs[i] = RunStandaloneSized(d.q, d.shape, d.sf, estCache, oraCache, cm, cfg.Cluster, cfg.Sizing)
+		}(i, d)
+	}
+	wg.Wait()
+	corpus := &Corpus{}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		corpus.Runs = append(corpus.Runs, runs[i])
+		corpus.collectSamples(runs[i])
+	}
+	return corpus, nil
+}
+
+// RunStandalone compiles, estimates (at both statistics resolutions) and
+// executes a single query alone on a simulated cluster, returning the full
+// run record. It is the building block of corpus construction and of the
+// per-query experiments (Fig. 7, Fig. 2).
+func RunStandalone(q *query.Query, shape Shape, sf float64, estCache, oraCache *CatalogCache,
+	cm *trace.CostModel, clusterCfg cluster.Config) (*QueryRun, error) {
+	return RunStandaloneSized(q, shape, sf, estCache, oraCache, cm, clusterCfg, selectivity.Config{})
+}
+
+// RunStandaloneSized is RunStandalone with explicit task-sizing rules.
+func RunStandaloneSized(q *query.Query, shape Shape, sf float64, estCache, oraCache *CatalogCache,
+	cm *trace.CostModel, clusterCfg cluster.Config, sizing selectivity.Config) (*QueryRun, error) {
+	d, err := plan.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	est, err := selectivity.NewEstimator(estCache.Get(sf), sizing).EstimateQuery(d)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := selectivity.NewEstimator(oraCache.Get(sf), sizing).EstimateQuery(d)
+	if err != nil {
+		return nil, err
+	}
+	cq := cluster.BuildQuery("q", oracle, cm, cluster.ConstantPredictor(1))
+	s := cluster.New(clusterCfg, sched.HCS{})
+	s.Submit(cq, 0)
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &QueryRun{
+		Query: q, Shape: shape, SF: sf, DAG: d,
+		Est: est, Oracle: oracle, Sim: cq,
+		Seconds: res.Makespan,
+	}, nil
+}
+
+// collectSamples extracts job and task training samples from a run. Job
+// features use the oracle's (observed) data sizes, matching how the paper
+// trains from execution logs; prediction-time features come from Est.
+func (c *Corpus) collectSamples(run *QueryRun) {
+	for ji, je := range run.Oracle.Jobs {
+		sj := run.Sim.Jobs[ji]
+		jobSecs := sj.DoneTime - sj.SubmitTime
+		c.JobSamples = append(c.JobSamples, predict.JobSample{
+			Op:       je.Job.Type,
+			Features: predict.JobFeatures(je),
+			Seconds:  jobSecs,
+		})
+		// A group's tasks share features (volumes split evenly), so sampling
+		// a bounded number per group keeps the corpus compact without
+		// changing the fitted coefficients' expectation.
+		const perPhase = 16
+		pf := je.PFactor()
+		taskIdx := 0
+		for _, g := range je.MapGroups {
+			for i := 0; i < minInt(g.Count, perPhase); i++ {
+				t := sj.Maps[taskIdx+i]
+				c.TaskSamples = append(c.TaskSamples, predict.TaskSample{
+					Op:       je.Job.Type,
+					Features: predict.TaskFeatures(je.Job.Type, g.InBytes, g.OutBytes, pf),
+					Seconds:  t.ActualSec,
+				})
+			}
+			taskIdx += g.Count
+		}
+		taskIdx = 0
+		for _, g := range je.ReduceGroups {
+			for i := 0; i < minInt(g.Count, perPhase); i++ {
+				t := sj.Reds[taskIdx+i]
+				c.TaskSamples = append(c.TaskSamples, predict.TaskSample{
+					Op:       je.Job.Type,
+					Reduce:   true,
+					Features: predict.TaskFeatures(je.Job.Type, g.InBytes, g.OutBytes, pf),
+					Seconds:  t.ActualSec,
+				})
+			}
+			taskIdx += g.Count
+		}
+	}
+}
+
+// Split partitions the corpus runs into training and test sets with the
+// given training fraction (paper: 3/4 train, 1/4 test).
+func (c *Corpus) Split(trainFrac float64) (train, test *Corpus) {
+	n := int(float64(len(c.Runs)) * trainFrac)
+	train, test = &Corpus{}, &Corpus{}
+	for i, run := range c.Runs {
+		dst := train
+		if i >= n {
+			dst = test
+		}
+		dst.Runs = append(dst.Runs, run)
+		dst.collectSamples(run)
+	}
+	return train, test
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NumJobs returns the total number of jobs across runs (the paper's
+// "5,647 MapReduce jobs" statistic).
+func (c *Corpus) NumJobs() int {
+	n := 0
+	for _, r := range c.Runs {
+		n += len(r.DAG.Jobs)
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+
+	"saqp/internal/plan"
+)
+
+func TestTPCHQueriesCompile(t *testing.T) {
+	wantJobs := map[string]int{
+		"q1":  1, // single groupby
+		"q3":  4, // 2 joins + groupby + sort/limit
+		"q6":  1, // scan aggregation
+		"q11": 3, // the paper's walk-through
+		"q14": 2, // mapjoin folds into the groupby: AGG + Sort (paper Fig. 1)
+		"q17": 4, // the paper's QB shape
+		"q19": 2, // join + groupby
+	}
+	for _, name := range TPCHNames() {
+		q, err := TPCHQuery(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := plan.Compile(q)
+		if err != nil {
+			t.Fatalf("%s does not compile: %v", name, err)
+		}
+		if want := wantJobs[name]; len(d.Jobs) != want {
+			t.Errorf("%s compiled to %d jobs, want %d\n%s", name, len(d.Jobs), want, d)
+		}
+	}
+}
+
+func TestTPCHQueryUnknown(t *testing.T) {
+	if _, err := TPCHQuery("q99"); err == nil {
+		t.Fatal("unknown query should error")
+	}
+}
+
+func TestTPCHNamesStable(t *testing.T) {
+	names := TPCHNames()
+	if len(names) != 7 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"saqp/internal/cluster"
+	"saqp/internal/dataset"
+	"saqp/internal/plan"
+	"saqp/internal/query"
+)
+
+func TestGeneratorProducesValidQueries(t *testing.T) {
+	g := NewGenerator(1)
+	shapes := map[Shape]int{}
+	for i := 0; i < 300; i++ {
+		q, shape, err := g.RandomQuery()
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		shapes[shape]++
+		// Every generated query must compile.
+		if _, err := plan.Compile(q); err != nil {
+			t.Fatalf("query %d does not compile: %v\n%s", i, err, q)
+		}
+		// And reparse from its own rendering.
+		if _, err := query.Parse(q.String()); err != nil {
+			t.Fatalf("query %d does not reparse: %v\n%s", i, err, q)
+		}
+	}
+	// All shapes appear over 300 draws.
+	for s := Shape(0); s < numShapes; s++ {
+		if shapes[s] == 0 {
+			t.Fatalf("shape %s never generated", s)
+		}
+	}
+}
+
+func TestShapeJobCounts(t *testing.T) {
+	g := NewGenerator(2)
+	wantJobs := map[Shape]int{
+		ShapeScan:     1,
+		ShapeScanSort: 1,
+		ShapeAgg:      1,
+		ShapeAggSort:  2,
+		ShapeJoinAgg:  2,
+		ShapeJoin2Agg: 3,
+		ShapeJoin3Agg: 4,
+	}
+	for shape, want := range wantJobs {
+		for i := 0; i < 10; i++ {
+			q, err := g.QueryOfShape(shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := plan.Compile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expect := want
+			// A MAPJOIN hint on the first join merges it into its consumer
+			// (Hive job merging), shrinking the chain by one job.
+			if len(q.MapJoinTables) > 0 && want > 1 {
+				expect--
+			}
+			if len(d.Jobs) != expect {
+				t.Fatalf("shape %s produced %d jobs, want %d\n%s", shape, len(d.Jobs), expect, q)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 50; i++ {
+		qa, _, err := a.RandomQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, _, err := b.RandomQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qa.String() != qb.String() {
+			t.Fatalf("generation diverged at %d:\n%s\n%s", i, qa, qb)
+		}
+	}
+}
+
+func TestInputBytesAtSF1(t *testing.T) {
+	q, err := query.Parse(`SELECT n_name FROM nation JOIN supplier ON s_nationkey = n_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas := dataset.AllSchemas()
+	if err := query.Resolve(q, schemas); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(dataset.Nation().BytesAt(1) + dataset.Supplier().BytesAt(1))
+	if got := InputBytesAtSF1(q, schemas); got != want {
+		t.Fatalf("input bytes = %v, want %v", got, want)
+	}
+}
+
+func TestSFForTargetBytes(t *testing.T) {
+	g := NewGenerator(3)
+	schemas := dataset.AllSchemas()
+	for i := 0; i < 50; i++ {
+		q, _, err := g.RandomQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := 20e9 // 20 GB
+		sf := SFForTargetBytes(q, target)
+		got := InputBytesAtSF1(q, schemas) * sf
+		// Fixed-size tables (nation/region/date_dim) break exact linearity,
+		// so allow slack.
+		if math.Abs(got-target)/target > 0.5 {
+			t.Fatalf("sf %v gives %v bytes, want ~%v\n%s", sf, got, target, q)
+		}
+	}
+}
+
+func TestTable2Compositions(t *testing.T) {
+	bing, fb := BingComposition(), FacebookComposition()
+	sum := func(c []BinSpec) int {
+		n := 0
+		for _, b := range c {
+			n += b.Count
+		}
+		return n
+	}
+	if sum(bing) != 100 || sum(fb) != 100 {
+		t.Fatalf("compositions must total 100 queries: bing %d fb %d", sum(bing), sum(fb))
+	}
+	// Table 2 exact counts.
+	if bing[0].Count != 44 || bing[3].Count != 22 {
+		t.Fatal("Bing composition drifted from Table 2")
+	}
+	if fb[0].Count != 85 || fb[4].Count != 1 {
+		t.Fatal("Facebook composition drifted from Table 2")
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	w, err := BuildWorkload("bing", BingComposition(), 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalQueries() != 100 {
+		t.Fatalf("items = %d", w.TotalQueries())
+	}
+	// Arrivals must be non-decreasing and start at 0.
+	if w.Items[0].ArrivalSec != 0 {
+		t.Fatalf("first arrival = %v", w.Items[0].ArrivalSec)
+	}
+	binCounts := map[int]int{}
+	for i := 1; i < len(w.Items); i++ {
+		if w.Items[i].ArrivalSec < w.Items[i-1].ArrivalSec {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	for _, it := range w.Items {
+		binCounts[it.Bin]++
+	}
+	if binCounts[1] != 44 || binCounts[5] != 2 {
+		t.Fatalf("bin counts wrong: %v", binCounts)
+	}
+	// Mean inter-arrival near 30s.
+	span := w.Items[len(w.Items)-1].ArrivalSec
+	if span < 30*99*0.6 || span > 30*99*1.5 {
+		t.Fatalf("arrival span %v implausible for mean gap 30", span)
+	}
+}
+
+func TestBuildWorkloadErrors(t *testing.T) {
+	if _, err := BuildWorkload("x", BingComposition(), 0, 1); err == nil {
+		t.Fatal("zero gap should error")
+	}
+}
+
+func TestBuildCorpusSmall(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.NumQueries = 40
+	cfg.MaxGB = 20
+	c, err := BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Runs) != 40 {
+		t.Fatalf("runs = %d", len(c.Runs))
+	}
+	if c.NumJobs() < 40 {
+		t.Fatalf("jobs = %d, want >= 40", c.NumJobs())
+	}
+	if len(c.JobSamples) != c.NumJobs() {
+		t.Fatalf("job samples %d != jobs %d", len(c.JobSamples), c.NumJobs())
+	}
+	if len(c.TaskSamples) == 0 {
+		t.Fatal("no task samples")
+	}
+	for _, r := range c.Runs {
+		if r.Seconds <= 0 {
+			t.Fatalf("run with non-positive time: %v", r.Seconds)
+		}
+		if r.Est == nil || r.Oracle == nil {
+			t.Fatal("missing estimates")
+		}
+	}
+	// Samples carry positive features and targets.
+	for _, s := range c.JobSamples {
+		if s.Seconds <= 0 || s.Features[0] <= 0 {
+			t.Fatalf("bad job sample: %+v", s)
+		}
+	}
+	train, test := c.Split(0.75)
+	if len(train.Runs) != 30 || len(test.Runs) != 10 {
+		t.Fatalf("split = %d/%d", len(train.Runs), len(test.Runs))
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.NumQueries = 10
+	a, err := BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Seconds != b.Runs[i].Seconds {
+			t.Fatalf("corpus not deterministic at run %d: %v vs %v",
+				i, a.Runs[i].Seconds, b.Runs[i].Seconds)
+		}
+	}
+}
+
+func TestWorkloadToClusterPipeline(t *testing.T) {
+	// A tiny end-to-end smoke test: build a 10-query workload, submit all
+	// under HCS, everything completes.
+	comp := []BinSpec{{Bin: 1, MinGB: 1, MaxGB: 5, Count: 10}}
+	w, err := BuildWorkload("tiny", comp, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cluster.DefaultConfig()
+	if w.TotalQueries() != 10 {
+		t.Fatal("bad workload")
+	}
+}

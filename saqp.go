@@ -1,0 +1,288 @@
+// Package saqp is a from-scratch Go reproduction of "Semantics-Aware
+// Prediction for Analytic Queries in MapReduce Environment" (Yu, Liu, Ding;
+// ICPP'18 Companion): a framework that percolates query-level semantics
+// from a HiveQL-style compiler down to the MapReduce scheduler, estimates
+// per-job data selectivities from offline histograms, predicts job/task/
+// query execution times with multivariate linear models, and schedules
+// queries by Smallest Weighted Resource Demand (SWRD).
+//
+// The package is a facade over the internal subsystems:
+//
+//   - query/plan   — HiveQL subset parser and Hive-style DAG compiler
+//   - catalog      — offline table statistics and equi-width histograms
+//   - selectivity  — IS/FS estimation (paper Section 3, Eq. 1–7)
+//   - predict      — multivariate time models (Section 4, Eq. 8–10)
+//   - mapreduce    — a real in-memory MapReduce engine (ground truth)
+//   - cluster      — a discrete-event simulator of the 9-node testbed
+//   - sched        — HCS, HFS and SWRD scheduling policies
+//   - workload     — TPC-H/DS query generator and Table 2 workload mixes
+//
+// Typical use:
+//
+//	fw, _ := saqp.NewFramework(saqp.Options{ScaleFactor: 10})
+//	dag, _ := fw.Compile(`SELECT c_name, count(*) FROM customer
+//	                      JOIN orders ON o_custkey = c_custkey
+//	                      GROUP BY c_name`)
+//	est, _ := fw.Estimate(dag)      // per-job D_in/D_med/D_out, task counts
+//	fw.TrainDefault()               // fit Eq. 8/9 on a synthetic corpus
+//	secs := fw.PredictQuerySeconds(est)
+//	wrd := fw.WRD(est)              // Eq. 10 for SWRD scheduling
+package saqp
+
+import (
+	"fmt"
+
+	"saqp/internal/catalog"
+	"saqp/internal/cluster"
+	"saqp/internal/dataset"
+	"saqp/internal/mapreduce"
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+	"saqp/internal/query"
+	"saqp/internal/sched"
+	"saqp/internal/selectivity"
+	"saqp/internal/trace"
+	"saqp/internal/workload"
+)
+
+// Re-exported core types. Aliases let callers outside this module use the
+// full APIs of the internal subsystems through this package.
+type (
+	// Query is a parsed, resolvable analytic query AST.
+	Query = query.Query
+	// DAG is a compiled execution plan: MapReduce jobs plus dependencies.
+	DAG = plan.DAG
+	// Job is one MapReduce job in a plan.
+	Job = plan.Job
+	// QueryEstimate carries per-job selectivity and resource estimates.
+	QueryEstimate = selectivity.QueryEstimate
+	// JobEstimate is one job's estimated data flow (D_in, D_med, D_out...).
+	JobEstimate = selectivity.JobEstimate
+	// Catalog holds offline table statistics.
+	Catalog = catalog.Catalog
+	// JobModel is the fitted Eq. 8 job-time model.
+	JobModel = predict.JobModel
+	// TaskModel is the fitted Eq. 9 task-time model (and WRD provider).
+	TaskModel = predict.TaskModel
+	// Corpus is a training/evaluation query corpus.
+	Corpus = workload.Corpus
+	// Workload is a Table 2-style query mix with Poisson arrivals.
+	Workload = workload.Workload
+	// Engine is the in-memory MapReduce execution engine.
+	Engine = mapreduce.Engine
+	// ClusterConfig sizes the discrete-event cluster simulator.
+	ClusterConfig = cluster.Config
+	// Schema describes one synthetic table.
+	Schema = dataset.Schema
+	// GroupAccuracy is one row of the paper's accuracy tables.
+	GroupAccuracy = predict.GroupAccuracy
+)
+
+// Scheduler name constants for experiment entry points.
+const (
+	SchedulerHCS  = "HCS"
+	SchedulerHFS  = "HFS"
+	SchedulerSWRD = "SWRD"
+)
+
+// Options configures a Framework.
+type Options struct {
+	// ScaleFactor sizes the synthetic TPC-H/TPC-DS database the catalog
+	// describes (1.0 ≈ 1 GB of TPC-H). Default 1.
+	ScaleFactor float64
+	// HistogramBuckets is the offline statistics resolution. Default 64.
+	HistogramBuckets int
+	// Sizing overrides MapReduce task sizing (block size, bytes/reducer).
+	Sizing selectivity.Config
+}
+
+// Framework bundles the paper's three techniques behind one object:
+// cross-layer semantics percolation (Compile keeps operators, predicates
+// and dependencies attached to the DAG), selectivity estimation (Estimate),
+// and multivariate time prediction (Train*/Predict*/WRD).
+type Framework struct {
+	Schemas   map[string]*dataset.Schema
+	Catalog   *catalog.Catalog
+	Estimator *selectivity.Estimator
+
+	JobTime  *predict.JobModel
+	TaskTime *predict.TaskModel
+
+	opts Options
+}
+
+// NewFramework builds a framework over analytically-derived statistics for
+// the synthetic TPC-H/TPC-DS schemas at the configured scale factor.
+func NewFramework(opts Options) (*Framework, error) {
+	if opts.ScaleFactor <= 0 {
+		opts.ScaleFactor = 1
+	}
+	if opts.HistogramBuckets <= 0 {
+		opts.HistogramBuckets = catalog.DefaultBuckets
+	}
+	schemas := dataset.AllSchemas()
+	var list []*dataset.Schema
+	for _, s := range schemas {
+		list = append(list, s)
+	}
+	cat := catalog.FromSchemas(list, opts.ScaleFactor, opts.HistogramBuckets)
+	return &Framework{
+		Schemas:   schemas,
+		Catalog:   cat,
+		Estimator: selectivity.NewEstimator(cat, opts.Sizing),
+		opts:      opts,
+	}, nil
+}
+
+// NewFrameworkFromCatalog builds a framework over caller-provided
+// statistics (e.g. collected by scanning materialised relations).
+func NewFrameworkFromCatalog(cat *catalog.Catalog, opts Options) *Framework {
+	return &Framework{
+		Schemas:   dataset.AllSchemas(),
+		Catalog:   cat,
+		Estimator: selectivity.NewEstimator(cat, opts.Sizing),
+		opts:      opts,
+	}
+}
+
+// Compile parses HiveQL text, resolves it against the schemas, and compiles
+// it to a DAG of MapReduce jobs. The DAG retains the query semantics —
+// operators, predicates, join keys, projected columns — which is the
+// "cross-layer semantics percolation" of paper Section 2.2.
+func (f *Framework) Compile(sql string) (*DAG, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := query.Resolve(q, f.Schemas); err != nil {
+		return nil, err
+	}
+	return plan.Compile(q)
+}
+
+// Estimate runs semantics-aware selectivity estimation over a compiled DAG
+// (paper Section 3): per-job IS/FS, D_in/D_med/D_out, task counts, and the
+// join balance ratio P.
+func (f *Framework) Estimate(d *DAG) (*QueryEstimate, error) {
+	return f.Estimator.EstimateQuery(d)
+}
+
+// Train fits the Eq. 8 job model and Eq. 9 task models from a corpus.
+func (f *Framework) Train(c *Corpus) error {
+	jm, err := predict.FitJobModel(c.JobSamples)
+	if err != nil {
+		return fmt.Errorf("saqp: training job model: %w", err)
+	}
+	tm, err := predict.FitTaskModel(c.TaskSamples)
+	if err != nil {
+		return fmt.Errorf("saqp: training task model: %w", err)
+	}
+	f.JobTime, f.TaskTime = jm, tm
+	return nil
+}
+
+// TrainDefault builds a modest synthetic corpus (TPC-H/DS queries, 1–100 GB
+// inputs, simulated execution) and trains the models on it. For the paper's
+// full 1,000-query corpus use workload.BuildCorpus + Train.
+func (f *Framework) TrainDefault() error {
+	cfg := workload.DefaultCorpusConfig()
+	cfg.NumQueries = 200
+	c, err := workload.BuildCorpus(cfg)
+	if err != nil {
+		return err
+	}
+	return f.Train(c)
+}
+
+// SaveModels serialises the trained models to JSON for reuse across runs.
+func (f *Framework) SaveModels(description string) ([]byte, error) {
+	if f.JobTime == nil || f.TaskTime == nil {
+		return nil, errNotTrained
+	}
+	return predict.SaveModels(f.JobTime, f.TaskTime, description)
+}
+
+// LoadModels installs previously saved model coefficients.
+func (f *Framework) LoadModels(data []byte) error {
+	jm, tm, err := predict.LoadModels(data)
+	if err != nil {
+		return err
+	}
+	f.JobTime, f.TaskTime = jm, tm
+	return nil
+}
+
+// errNotTrained is returned by prediction methods before Train.
+var errNotTrained = fmt.Errorf("saqp: models not trained; call Train or TrainDefault first")
+
+// PredictJobSeconds predicts one job's execution time via Eq. 8.
+func (f *Framework) PredictJobSeconds(je *JobEstimate) (float64, error) {
+	if f.JobTime == nil {
+		return 0, errNotTrained
+	}
+	return f.JobTime.PredictJob(je), nil
+}
+
+// PredictQuerySeconds predicts a whole query's response time (run alone on
+// the default cluster) via the task model composed along the DAG's critical
+// path (Section 5.4).
+func (f *Framework) PredictQuerySeconds(qe *QueryEstimate) (float64, error) {
+	if f.TaskTime == nil {
+		return 0, errNotTrained
+	}
+	cc := cluster.DefaultConfig()
+	ov := predict.Overheads{SchedPerTaskSec: cc.SchedulingOverheadSec, JobInitSec: cc.JobInitSec}
+	slots := predict.Slots{Map: cc.Nodes * cc.MapSlotsPerNode, Reduce: cc.Nodes * cc.ReduceSlotsPerNode}
+	return f.TaskTime.PredictQuery(qe, slots, ov), nil
+}
+
+// WRD computes the query's Weighted Resource Demand (Eq. 10) — the metric
+// the SWRD scheduler minimises.
+func (f *Framework) WRD(qe *QueryEstimate) (float64, error) {
+	if f.TaskTime == nil {
+		return 0, errNotTrained
+	}
+	return f.TaskTime.WRD(qe), nil
+}
+
+// TPCHQuery returns one of the canonical TPC-H-derived queries ("q1",
+// "q3", "q6", "q11", "q14", "q17", "q19"), parsed and resolved. Q14 and
+// Q17 are the queries of the paper's motivating experiment; Q11 is its
+// selectivity walk-through.
+func TPCHQuery(name string) (*Query, error) { return workload.TPCHQuery(name) }
+
+// NewEngine builds an execution engine with relations for every schema
+// materialised at the given laptop-scale factor. The engine actually runs
+// queries, providing ground-truth sizes to compare against Estimate.
+func NewEngine(sf float64, seed uint64) *Engine {
+	e := mapreduce.New(mapreduce.Config{BlockSize: 1 << 20})
+	for _, s := range dataset.TPCH() {
+		e.Register(dataset.Generate(s, sf, seed))
+	}
+	for _, s := range dataset.TPCDS() {
+		e.Register(dataset.Generate(s, sf, seed))
+	}
+	return e
+}
+
+// schedulerByName maps experiment names to policies.
+func schedulerByName(name string) (cluster.Scheduler, error) {
+	switch name {
+	case SchedulerHCS:
+		// The stock single-queue capacity configuration the paper's
+		// motivation experiment exhibits (multi-queue HCS is available as
+		// sched.HCS{Queues: n} for ablations).
+		return sched.HCS{}, nil
+	case SchedulerHFS:
+		return sched.HFS{}, nil
+	case SchedulerSWRD:
+		return sched.SWRD{}, nil
+	}
+	return nil, fmt.Errorf("saqp: unknown scheduler %q", name)
+}
+
+// defaultCostModel builds the hidden ground-truth cost model used by the
+// experiment drivers.
+func defaultCostModel(seed uint64) *trace.CostModel {
+	return trace.NewDefaultCostModel(seed)
+}
