@@ -1,0 +1,40 @@
+GO      ?= go
+BIN     := bin
+SAQPVET := $(BIN)/saqpvet
+
+.PHONY: all build test race lint fuzz-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+$(SAQPVET): $(shell find cmd/saqpvet internal/analysis -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+	@mkdir -p $(BIN)
+	$(GO) build -o $(SAQPVET) ./cmd/saqpvet
+
+# Static analysis: the stock go vet suite plus the project's saqpvet
+# analyzers (determinism, floatcmp, lockcheck, errdrop), run through the
+# vet -vettool protocol so per-package results are cached like any other
+# vet check.
+lint: $(SAQPVET)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath $(SAQPVET)) ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short native-fuzzing burst over the full compile→estimate→execute
+# stack, plus the randomized estimator-vs-engine agreement test.
+fuzz-smoke:
+	$(GO) test -run TestRandomQueriesEstimatorVsEngine -count=1 ./internal/mapreduce
+	$(GO) test -fuzz FuzzEngineQuery -fuzztime 10s -run '^$$' ./internal/mapreduce
+
+# Everything CI runs, in the same order.
+ci: build lint test race fuzz-smoke
+
+clean:
+	rm -rf $(BIN)

@@ -1,0 +1,290 @@
+// Command saqpvet is the project's static-analysis driver. It runs the
+// four saqp-specific analyzers (determinism, floatcmp, lockcheck,
+// errdrop — see internal/analysis) in two modes:
+//
+// Standalone, over package patterns:
+//
+//	saqpvet ./...
+//
+// As a `go vet` tool, speaking the vet unit-checker protocol (-flags,
+// -V=full, and per-package *.cfg files with compiler export data):
+//
+//	go vet -vettool=$(which saqpvet) ./...
+//
+// Both modes honour //lint:allow saqpvet/<analyzer> suppressions and
+// exit non-zero when any finding survives, so `make lint` and CI fail
+// on a violated invariant. The implementation uses only the standard
+// library: standalone mode type-checks module packages from source
+// (offline, via GOROOT), and vettool mode reads the export data that
+// the go command already produced.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"saqp/internal/analysis"
+	"saqp/internal/analysis/determinism"
+	"saqp/internal/analysis/errdrop"
+	"saqp/internal/analysis/floatcmp"
+	"saqp/internal/analysis/lockcheck"
+)
+
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	floatcmp.Analyzer,
+	lockcheck.Analyzer,
+	errdrop.Analyzer,
+}
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-flags" || a == "--flags":
+			// The go command queries the tool's flag set as JSON; we
+			// expose none beyond the protocol itself.
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(a, "-V"):
+			// Version fingerprint for the go command's build cache.
+			fmt.Printf("%s version devel comments-go-here buildID=something\n", progname)
+			return
+		case a == "help" || a == "-h" || a == "--help":
+			usage(progname)
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+func usage(progname string) {
+	fmt.Printf("%s enforces saqp's determinism, float-safety and concurrency invariants.\n\n", progname)
+	fmt.Printf("usage:\n  %s [packages]            standalone (default ./...)\n", progname)
+	fmt.Printf("  go vet -vettool=%s ./...  as a vet plugin\n\nanalyzers:\n", progname)
+	for _, a := range analyzers {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Printf("\nsuppress a reviewed finding with: //lint:allow saqpvet/<analyzer> <reason>\n")
+}
+
+// standalone loads and checks packages by pattern, printing findings
+// relative to the current directory. Exit status: 0 clean, 1 findings,
+// 2 operational error.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+
+	var dirs []string
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "...":
+			ds, err := analysis.ModuleDirs(root)
+			if err != nil {
+				log.Print(err)
+				return 2
+			}
+			dirs = append(dirs, ds...)
+		case strings.HasSuffix(p, "/..."):
+			ds, err := analysis.ModuleDirs(filepath.Join(cwd, strings.TrimSuffix(p, "/...")))
+			if err != nil {
+				log.Print(err)
+				return 2
+			}
+			dirs = append(dirs, ds...)
+		default:
+			dirs = append(dirs, filepath.Join(cwd, p))
+		}
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := d.Pos
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s: %s (saqpvet/%s)\n", pos, d.Message, d.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON the go command writes for each vetted
+// package (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgFile, per the
+// go vet tool protocol.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Printf("cannot decode vet config %s: %v", cfgFile, err)
+		return 2
+	}
+
+	// The go command expects the facts file to exist even though these
+	// analyzers produce no cross-package facts.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				log.Print(err)
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			log.Print(err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path; the go command supplies the
+		// export-data file it compiled for every dependency.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := resolverFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		log.Print(err)
+		return 2
+	}
+
+	writeVetx()
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg := &analysis.Package{
+		Path:      cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Filenames: cfg.GoFiles,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (saqpvet/%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type resolverFunc func(path string) (*types.Package, error)
+
+func (f resolverFunc) Import(path string) (*types.Package, error) { return f(path) }

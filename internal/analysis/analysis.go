@@ -1,0 +1,191 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library (go/ast, go/parser, go/types, go/importer) so the repository
+// carries no external dependencies.
+//
+// It exists because the paper's prediction pipeline is only reproducible
+// while the simulator stays bit-for-bit deterministic and numerically
+// careful. Those invariants — no wall-clock reads in simulated paths, no
+// global math/rand, no exact float comparison in the estimator, no
+// unguarded writes to mutex-protected state, no silently dropped errors —
+// were previously upheld by convention. The analyzers in the
+// sub-packages (determinism, floatcmp, lockcheck, errdrop) turn them
+// into machine-checked rules, run by cmd/saqpvet both standalone and as
+// a `go vet -vettool` plugin.
+//
+// The API deliberately mirrors x/tools' Analyzer/Pass/Diagnostic shape,
+// so that if the real module ever becomes available the analyzers port
+// over with trivial mechanical changes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow saqpvet/<name> suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why the invariant matters for reproduction fidelity.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path equals
+	// one of the entries or lives under one of them (prefix + "/").
+	// Empty means every package. Fixture tests bypass Scope via
+	// RunUnscoped.
+	Scope []string
+	// Run executes the pass and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer's Scope admits the package path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzed package to an Analyzer.Run. Test files
+// (*_test.go) are excluded from Files: saqpvet's invariants govern
+// production code, and tests legitimately use exact comparisons and
+// timing.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with its position fully resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (saqpvet/%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run executes every analyzer whose Scope admits pkg, applies
+// //lint:allow suppressions, and returns the surviving diagnostics in
+// position order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	supp := collectSuppressions(pkg)
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		ds, err := runOne(pkg, a, supp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// RunUnscoped executes a single analyzer regardless of its Scope —
+// the entry point for analysistest fixtures, whose package path ("a")
+// never matches production scopes. Suppressions still apply, so
+// fixtures can also exercise the //lint:allow mechanism.
+func RunUnscoped(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	ds, err := runOne(pkg, a, collectSuppressions(pkg))
+	if err != nil {
+		return nil, err
+	}
+	sortDiagnostics(ds)
+	return ds, nil
+}
+
+func runOne(pkg *Package, a *Analyzer, supp suppressions) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     nonTestFiles(pkg),
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		if supp.allows(a.Name, d.Pos) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}
+
+func nonTestFiles(pkg *Package) []*ast.File {
+	var out []*ast.File
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// CalleeFunc resolves the called function of a call expression, or nil
+// for builtins, function literals and indirect calls through variables.
+// Shared by several analyzers.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

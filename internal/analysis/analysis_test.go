@@ -1,0 +1,124 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"saqp/internal/analysis"
+)
+
+// assignFlagger reports every assignment statement — a minimal analyzer
+// for exercising the framework and the suppression mechanism.
+var assignFlagger = &analysis.Analyzer{
+	Name: "assignflag",
+	Doc:  "test analyzer that flags every assignment",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if st, ok := n.(*ast.AssignStmt); ok {
+					pass.Reportf(st.Pos(), "assignment")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func loadFixture(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadFixtureDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestSuppressionMechanism(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+func f() int {
+	x := 1 //lint:allow saqpvet/assignflag trailing-form suppression
+	//lint:allow saqpvet/assignflag preceding-form suppression
+	y := 2
+	z := 3
+	return x + y + z
+}
+`)
+	diags, err := analysis.RunUnscoped(pkg, assignFlagger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the unsuppressed assignment flagged, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 7 {
+		t.Errorf("surviving diagnostic on line %d, want line 7 (z := 3)", diags[0].Pos.Line)
+	}
+}
+
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+func f() int {
+	x := 1 //lint:allow saqpvet/otherpass not this analyzer
+	return x
+}
+`)
+	diags, err := analysis.RunUnscoped(pkg, assignFlagger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("suppression for a different analyzer must not filter; got %d diagnostics", len(diags))
+	}
+}
+
+func TestTestFilesAreSkipped(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.go":      "package a\n\nfunc f() int {\n\tx := 1\n\treturn x\n}\n",
+		"a_test.go": "package a\n\nfunc g() int {\n\ty := 2\n\treturn y\n}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := analysis.LoadFixtureDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunUnscoped(pkg, assignFlagger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (test file skipped at load), got %d: %v", len(diags), diags)
+	}
+}
+
+func TestScopeFiltering(t *testing.T) {
+	scoped := &analysis.Analyzer{
+		Name:  "scoped",
+		Scope: []string{"saqp/internal/sim"},
+		Run:   assignFlagger.Run,
+	}
+	cases := map[string]bool{
+		"saqp/internal/sim":      true,
+		"saqp/internal/sim/sub":  true,
+		"saqp/internal/simulate": false,
+		"saqp/internal/query":    false,
+	}
+	for pkg, want := range cases {
+		if got := scoped.AppliesTo(pkg); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", pkg, got, want)
+		}
+	}
+}

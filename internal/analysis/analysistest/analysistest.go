@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over a golden fixture package
+// and compares its diagnostics against `// want` expectations embedded
+// in the fixture source — a stdlib-only miniature of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout mirrors x/tools convention:
+//
+//	internal/analysis/<name>/testdata/src/a/a.go
+//
+// Expectations are trailing comments on the line the diagnostic must
+// land on, holding one or more quoted regular expressions:
+//
+//	t := time.Now() // want `reads the wall clock`
+//
+// Every diagnostic must be matched by an expectation on its line and
+// every expectation must match a diagnostic; anything else fails the
+// test. Because analysis.RunUnscoped applies //lint:allow suppressions,
+// fixtures can also assert that a suppressed line yields nothing.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"saqp/internal/analysis"
+)
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package in dir (e.g. "testdata/src/a"), runs
+// the analyzer without scope filtering, and reports mismatches on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadFixtureDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunUnscoped(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		file := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == file && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", file, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns parses a sequence of Go-quoted or backquoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var q byte = s[0]
+		if q != '"' && q != '`' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern %q", s)
+		}
+		raw := s[:end+2]
+		p, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cannot unquote %q: %v", raw, err)
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

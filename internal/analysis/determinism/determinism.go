@@ -1,0 +1,204 @@
+// Package determinism forbids sources of nondeterminism in the
+// simulated-execution packages. The paper's results (IS/FS selectivity,
+// Eq. 1–6; the time models of Eq. 8–9; SWRD schedules, Eq. 10) are only
+// reproducible because every experiment is a pure function of its seed:
+// a single wall-clock read or global-RNG draw in a sim path silently
+// decouples repeated runs, and a map-iteration-ordered result makes
+// schedules differ between executions of the same binary.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"saqp/internal/analysis"
+)
+
+// forbiddenFuncs are time functions that read or depend on the wall
+// clock. Simulated paths must thread simulated time (float64 seconds)
+// instead.
+var forbiddenFuncs = map[string]string{
+	"time.Now":       "reads the wall clock",
+	"time.Since":     "reads the wall clock",
+	"time.Sleep":     "blocks on real time",
+	"time.After":     "schedules on real time",
+	"time.Tick":      "schedules on real time",
+	"time.NewTicker": "schedules on real time",
+	"time.NewTimer":  "schedules on real time",
+}
+
+// forbiddenImports are packages whose process-global generator breaks
+// seeded reproducibility. saqp/internal/sim.RNG is the sanctioned
+// replacement: seedable, forkable and embeddable in value types.
+var forbiddenImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbids wall-clock reads (time.Now/Since/...), math/rand, and " +
+		"map-iteration-ordered output in the simulated-execution packages, " +
+		"so every run of a seeded experiment is bit-for-bit identical",
+	Scope: []string{
+		"saqp/internal/sim",
+		"saqp/internal/cluster",
+		"saqp/internal/sched",
+		"saqp/internal/mapreduce",
+		"saqp/internal/workload",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkImports(pass, f)
+		checkTimeUses(pass, f)
+		checkMapRangeOrder(pass, f)
+	}
+	return nil
+}
+
+func checkImports(pass *analysis.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path := imp.Path.Value // quoted
+		if forbiddenImports[path[1:len(path)-1]] {
+			pass.Reportf(imp.Pos(),
+				"import of %s is nondeterministic across runs; use saqp/internal/sim.RNG (seedable, forkable)", path)
+		}
+	}
+}
+
+func checkTimeUses(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		if why, bad := forbiddenFuncs[fn.FullName()]; bad {
+			pass.Reportf(id.Pos(),
+				"%s %s and breaks simulator determinism; thread simulated time through the call instead", fn.FullName(), why)
+		}
+		return true
+	})
+}
+
+// checkMapRangeOrder flags loops that range over a map while appending
+// to a slice declared outside the loop — the classic way map iteration
+// order leaks into an ordered result. The collect-then-sort idiom is
+// recognised: if a later statement in the same block passes the slice
+// to the sort (or slices) package, the loop is not flagged.
+func checkMapRangeOrder(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var stmts []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		default:
+			return true
+		}
+		for i, st := range stmts {
+			rng, ok := st.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			for _, dst := range appendTargetsOutside(pass.TypesInfo, rng) {
+				if sortedLater(pass.TypesInfo, stmts[i+1:], dst) {
+					continue
+				}
+				pass.Reportf(rng.For,
+					"appending to %s while ranging over a map leaks nondeterministic iteration order; collect keys, sort, then iterate", dst.Name())
+			}
+		}
+		return true
+	})
+}
+
+// appendTargetsOutside returns the objects of identifiers that receive
+// append(...) inside the range body but are declared outside it.
+func appendTargetsOutside(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isBuiltin := info.Uses[fid].(*types.Builtin); !isBuiltin || fid.Name != "append" {
+			return true
+		}
+		dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[dst]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			return true // loop-local accumulator; order confined to the loop
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// sortedLater reports whether any statement in rest calls into the sort
+// or slices package with an expression mentioning obj.
+func sortedLater(info *types.Info, rest []ast.Stmt, obj types.Object) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				mentions := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+						mentions = true
+					}
+					return !mentions
+				})
+				if mentions {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

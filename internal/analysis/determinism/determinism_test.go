@@ -1,0 +1,31 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/analysistest"
+	"saqp/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/src/a")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"saqp/internal/sim",
+		"saqp/internal/cluster",
+		"saqp/internal/sched",
+		"saqp/internal/mapreduce",
+		"saqp/internal/workload",
+	} {
+		if !determinism.Analyzer.AppliesTo(pkg) {
+			t.Errorf("determinism should apply to %s", pkg)
+		}
+	}
+	for _, pkg := range []string{"saqp/internal/query", "saqp/cmd/saqp", "saqp"} {
+		if determinism.Analyzer.AppliesTo(pkg) {
+			t.Errorf("determinism should not apply to %s", pkg)
+		}
+	}
+}

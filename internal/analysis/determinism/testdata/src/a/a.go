@@ -1,0 +1,82 @@
+// Fixture for the determinism analyzer: wall-clock reads, math/rand
+// and map-iteration-order leaks must be flagged; seeded, sorted and
+// loop-local patterns must not.
+package a
+
+import (
+	"math/rand" // want `nondeterministic across runs`
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()    // want `time.Now reads the wall clock`
+	d := time.Since(t) // want `time.Since reads the wall clock`
+	time.Sleep(1)      // want `time.Sleep blocks on real time`
+	return int64(d)
+}
+
+// Referencing the function without calling it is just as nondeterministic.
+var clockFn = time.Now // want `time.Now reads the wall clock`
+
+// Pure time arithmetic and construction are fine.
+func arithmetic() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+// The global generator is covered by the import diagnostic above; the
+// call sites themselves are not re-flagged.
+func draw() int {
+	return rand.Intn(10)
+}
+
+// Ranging over a map while appending to an outer slice leaks iteration
+// order into the result.
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appending to out while ranging over a map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// The collect-then-sort idiom is recognised and not flagged.
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Order-insensitive reductions over maps are fine.
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Appending to a loop-local slice confines the order to the loop body.
+func confined(m map[string]int) int {
+	longest := 0
+	for k := range m {
+		var parts []byte
+		parts = append(parts, k...)
+		if len(parts) > longest {
+			longest = len(parts)
+		}
+	}
+	return longest
+}
+
+// Ranging over a slice never depends on map order.
+func slices(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package errdrop flags discarded error return values in non-test
+// internal code: bare call statements whose callee returns an error,
+// and assignments that send an error result to the blank identifier. A
+// swallowed error in the corpus builder or persistence layer turns a
+// hard failure into silently-wrong training data — the config-drift
+// failure mode described in the Rizvandi et al. line of work — so every
+// discard must be either handled or visibly excused with
+// //lint:allow saqpvet/errdrop and a reason.
+//
+// Well-known never-fails APIs are excluded to keep the signal clean:
+// fmt.Print*, strings.Builder, bytes.Buffer and hash.Hash writes are
+// documented to never return a non-nil error.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"saqp/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flags discarded error results (`_ = f()` and bare `f()` statements) " +
+		"in non-test internal packages",
+	Scope: []string{"saqp/internal"},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				checkBareCall(pass, st)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBareCall(pass *analysis.Pass, st *ast.ExprStmt) {
+	call, ok := st.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if !returnsError(pass.TypesInfo, call) {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if excludedCall(pass.TypesInfo, call) {
+		return
+	}
+	name := "call"
+	if fn != nil {
+		name = fn.FullName()
+	}
+	pass.Reportf(st.Pos(), "error result of %s is silently discarded; handle it or excuse it with //lint:allow saqpvet/errdrop", name)
+}
+
+func checkBlankAssign(pass *analysis.Pass, st *ast.AssignStmt) {
+	// Single call on the RHS feeding multiple LHS slots: map each blank
+	// LHS to the corresponding tuple component.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok || excludedCall(pass.TypesInfo, call) {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of call is discarded into _; handle it or excuse it with //lint:allow saqpvet/errdrop")
+			}
+		}
+		return
+	}
+	// Pairwise assignments: flag `_ = f()` where f returns exactly an error.
+	for i, lhs := range st.Lhs {
+		if !isBlank(lhs) || i >= len(st.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if !returnsError(pass.TypesInfo, call) || excludedCall(pass.TypesInfo, call) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error result of call is discarded into _; handle it or excuse it with //lint:allow saqpvet/errdrop")
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// excludedCall reports whether the call as a whole is a well-known
+// never-fails pattern: an excluded callee, a hash.Hash write, or an
+// fmt.Fprint* aimed at an in-memory writer.
+func excludedCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return excluded(fn) || hashReceiver(info, call) || fprintToMemWriter(info, fn, call)
+}
+
+// excluded reports whether fn is a well-known API documented to never
+// return a non-nil error.
+func excluded(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "fmt" && strings.HasPrefix(fn.Name(), "Print"):
+		return true // fmt.Print/Printf/Println write to os.Stdout
+	case path == "hash":
+		return true // hash.Hash.Write never fails (hash package doc)
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return recvExcluded(sig)
+}
+
+// hashReceiver reports whether the call is a method call on a value of
+// a hash-package interface (hash.Hash embeds io.Writer, so the resolved
+// method object belongs to io, not hash).
+func hashReceiver(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "hash"
+}
+
+// fprintToMemWriter reports whether the call is fmt.Fprint* writing to
+// a *strings.Builder or *bytes.Buffer. Those writers never return an
+// error, so fmt.Fprint* cannot fail either and the result carries no
+// information.
+func fprintToMemWriter(info *types.Info, fn *types.Func, call *ast.CallExpr) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" ||
+		!strings.HasPrefix(fn.Name(), "Fprint") || len(call.Args) == 0 {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "*strings.Builder" || s == "*bytes.Buffer"
+}
+
+// recvExcluded excludes methods on the stdlib's in-memory writers,
+// whose Write* methods are documented to always return a nil error.
+func recvExcluded(sig *types.Signature) bool {
+	if sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	return strings.HasSuffix(recv, "strings.Builder") || strings.HasSuffix(recv, "bytes.Buffer")
+}

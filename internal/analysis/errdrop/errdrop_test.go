@@ -1,0 +1,21 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/analysistest"
+	"saqp/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "testdata/src/a")
+}
+
+func TestScope(t *testing.T) {
+	if !errdrop.Analyzer.AppliesTo("saqp/internal/workload") {
+		t.Error("errdrop should apply to saqp/internal/workload")
+	}
+	if errdrop.Analyzer.AppliesTo("saqp/examples/quickstart") {
+		t.Error("errdrop should not apply to examples")
+	}
+}

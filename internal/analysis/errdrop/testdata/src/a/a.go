@@ -1,0 +1,62 @@
+// Fixture for the errdrop analyzer: bare calls and blank assignments
+// that discard an error must be flagged; handled errors, never-fails
+// APIs and reviewed suppressions must not.
+package a
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func drop() {
+	fail()           // want `error result of .*fail is silently discarded`
+	_ = fail()       // want `error result of call is discarded into _`
+	n, _ := pair()   // want `error result of call is discarded into _`
+	_ = n            // discarding a non-error value is fine
+	os.Remove("tmp") // want `error result of os.Remove is silently discarded`
+}
+
+// Non-hits: the error is actually consumed.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	fmt.Println(v) // fmt.Print* never returns a useful error
+	return nil
+}
+
+// Never-fails APIs are excluded.
+func neverFails() (string, uint32) {
+	var sb strings.Builder
+	sb.WriteString("x")
+	fmt.Fprintf(&sb, "y=%d", 1) // Fprint* into an in-memory writer cannot fail
+	var bb bytes.Buffer
+	fmt.Fprintln(&bb, "z")
+	h := fnv.New32a()
+	h.Write([]byte("k"))
+	return sb.String() + bb.String(), h.Sum32()
+}
+
+// Fprint* to a real (fallible) writer is still flagged.
+func fprintFile(f *os.File) {
+	fmt.Fprintf(f, "x") // want `error result of fmt.Fprintf is silently discarded`
+}
+
+// Reviewed suppressions, both placements.
+func excused() {
+	//lint:allow saqpvet/errdrop best-effort cleanup
+	_ = fail()
+	fail() //lint:allow saqpvet/errdrop fire-and-forget probe
+}

@@ -1,0 +1,68 @@
+// Package floatcmp flags exact equality comparisons between
+// floating-point operands in the estimation and prediction packages.
+// Selectivities, histogram bucket boundaries and fitted model
+// coefficients all accumulate rounding error; `==` on such values makes
+// behaviour depend on the exact association order of float operations,
+// which is precisely the kind of silent drift that corrupts the
+// regression models the paper fits. Callers should use
+// saqp/internal/core.ApproxEqual with an explicit tolerance, or add a
+// reviewed //lint:allow saqpvet/floatcmp suppression where exactness is
+// genuinely intended (e.g. a bit-identical sentinel).
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"saqp/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags == and != on float32/float64 operands in the estimator and " +
+		"predictor packages; use core.ApproxEqual(a, b, eps) instead",
+	Scope: []string{
+		"saqp/internal/selectivity",
+		"saqp/internal/predict",
+		"saqp/internal/histogram",
+		"saqp/internal/trace",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			// A comparison folded entirely at compile time is exact by
+			// definition and cannot drift.
+			if isConst(pass.TypesInfo, be.X) && isConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison is sensitive to rounding; use core.ApproxEqual with an explicit tolerance", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,39 @@
+// Fixture for the floatcmp analyzer: exact equality on floating-point
+// operands must be flagged; integer equality, ordered comparisons and
+// fully constant-folded comparisons must not.
+package a
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// Comparing against an untyped constant still compares floats.
+func sentinel(x float64) bool {
+	return x == 0 // want `floating-point == comparison`
+}
+
+func mixedWidth(x float64, y int) bool {
+	return x == float64(y) // want `floating-point == comparison`
+}
+
+// Non-hits.
+
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a == b }
+
+func ordered(x float64) bool { return x < 1.0 && x >= 0 }
+
+const c1, c2 = 1.5, 2.5
+
+// Folded at compile time: exact by definition.
+var folded = c1 == c2
+
+// A reviewed suppression silences the finding.
+func excused(x float64) bool {
+	return x == 1.0 //lint:allow saqpvet/floatcmp exact sentinel by construction
+}

@@ -1,0 +1,20 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/analysistest"
+	"saqp/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "testdata/src/a")
+}
+
+func TestScopeIsGlobal(t *testing.T) {
+	for _, pkg := range []string{"saqp", "saqp/internal/mapreduce", "saqp/internal/workload"} {
+		if !lockcheck.Analyzer.AppliesTo(pkg) {
+			t.Errorf("lockcheck should apply to %s", pkg)
+		}
+	}
+}

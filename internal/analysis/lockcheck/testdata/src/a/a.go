@@ -1,0 +1,62 @@
+// Fixture for the lockcheck analyzer: writes to mutex-guarded fields
+// from functions that never take the lock must be flagged; locked
+// writes, never-guarded fields and local construction must not.
+package a
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	name string
+}
+
+// inc establishes that counter.n is guarded by counter.mu.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want `write to counter.n without holding`
+}
+
+// name is never written under the lock, so it is not considered guarded.
+func (c *counter) setName(s string) {
+	c.name = s
+}
+
+// Construction before the value escapes is not flagged.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}
+
+// Embedded mutexes and the promoted Lock method are recognised.
+type gauge struct {
+	sync.RWMutex
+	v float64
+}
+
+func (g *gauge) set(x float64) {
+	g.Lock()
+	g.v = x
+	g.Unlock()
+}
+
+func (g *gauge) snapshot() float64 {
+	g.RLock()
+	defer g.RUnlock()
+	return g.v
+}
+
+func (g *gauge) bump() {
+	g.v++ // want `write to gauge.v without holding`
+}
+
+// A reviewed suppression silences the finding.
+func (g *gauge) install(x float64) {
+	g.v = x //lint:allow saqpvet/lockcheck single-goroutine setup phase
+}

@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"os"
+	"testing"
+
+	"saqp/internal/analysis"
+	"saqp/internal/analysis/determinism"
+	"saqp/internal/analysis/errdrop"
+	"saqp/internal/analysis/floatcmp"
+	"saqp/internal/analysis/lockcheck"
+)
+
+// TestRepositoryIsClean runs the full saqpvet analyzer suite over every
+// package in the module and fails on any diagnostic. This is the
+// cleanliness regression gate: a change that reintroduces time.Now in
+// the simulator, a raw float comparison in the estimator, or a dropped
+// error anywhere in internal/ fails `go test` even before CI runs the
+// standalone saqpvet binary.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := analysis.ModuleDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := []*analysis.Analyzer{
+		determinism.Analyzer,
+		floatcmp.Analyzer,
+		lockcheck.Analyzer,
+		errdrop.Analyzer,
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			t.Fatalf("analyze %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

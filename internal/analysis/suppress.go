@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression comments let a human override a finding after review:
+//
+//	x := sum == total //lint:allow saqpvet/floatcmp bit-identical by construction
+//
+// or, on the line directly above the flagged statement:
+//
+//	//lint:allow saqpvet/errdrop best-effort cleanup
+//	_ = f.Close()
+//
+// A suppression names exactly one analyzer and applies to findings on
+// the comment's own line and on the following line. There is no
+// file-wide or analyzer-wildcard form: every override stays adjacent to
+// the code it excuses, with room for a reason.
+var suppressRE = regexp.MustCompile(`//lint:allow\s+saqpvet/([a-z]+)`)
+
+// suppressions maps filename -> line -> set of suppressed analyzer names.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) add(file string, line int, analyzer string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	set := byLine[line]
+	if set == nil {
+		set = make(map[string]bool)
+		byLine[line] = set
+	}
+	set[analyzer] = true
+}
+
+// allows reports whether a finding by the named analyzer at pos is
+// covered by a suppression comment.
+func (s suppressions) allows(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer]
+}
+
+func collectSuppressions(pkg *Package) suppressions {
+	s := make(suppressions)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range suppressRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					// The comment's own line (trailing form) and the
+					// next line (preceding form).
+					s.add(pos.Filename, pos.Line, m[1])
+					s.add(pos.Filename, pos.Line+1, m[1])
+				}
+			}
+		}
+	}
+	return s
+}
+
+// HasSuppression reports whether src contains any saqpvet suppression
+// comment; cheap pre-filter used by tests.
+func HasSuppression(src string) bool {
+	return strings.Contains(src, "//lint:allow saqpvet/")
+}

@@ -1,0 +1,14 @@
+package core
+
+import "saqp/internal/core/floats"
+
+// ApproxEqual reports whether a and b are equal within eps — the
+// project's sanctioned float comparison, enforced by the saqpvet
+// floatcmp analyzer in the estimator and predictor packages. It
+// forwards to the leaf package internal/core/floats, which packages
+// below core in the import graph (histogram, selectivity, predict,
+// trace) import directly. See floats.ApproxEqual for the exact
+// absolute+relative tolerance semantics and special cases.
+func ApproxEqual(a, b, eps float64) bool {
+	return floats.ApproxEqual(a, b, eps)
+}

@@ -1,0 +1,36 @@
+// Package floats holds dependency-free floating-point helpers for the
+// whole estimation stack. It is a leaf package (imports only math) so
+// that histogram, selectivity, predict and trace — which sit *below*
+// internal/core in the import graph — can use ApproxEqual without a
+// cycle; internal/core re-exports it for callers above.
+package floats
+
+import "math"
+
+// ApproxEqual reports whether a and b are equal within eps, combining
+// an absolute and a relative tolerance:
+//
+//	|a-b| <= eps                      (absolute, for values near zero)
+//	|a-b| <= eps * max(|a|, |b|)      (relative, for large magnitudes)
+//
+// Special cases follow comparison semantics rather than IEEE
+// arithmetic: NaN is approximately equal to nothing (not even itself);
+// infinities are approximately equal only to the same infinity; and
+// eps = 0 degenerates to exact equality (with ±0 equal, as in Go).
+// Denormal (subnormal) differences are handled by the absolute branch.
+func ApproxEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	return diff <= eps*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -45,13 +45,13 @@ func BuildEquiDepth(values []float64, n int) (*EquiDepth, error) {
 			continue
 		}
 		// Extend the bucket so a value never straddles a boundary.
-		for end < total && sorted[end] == sorted[end-1] {
+		for end < total && sorted[end] == sorted[end-1] { //lint:allow saqpvet/floatcmp exact duplicate run in sorted data
 			end++
 		}
 		seg := sorted[start:end]
 		distinct := 1.0
 		for i := 1; i < len(seg); i++ {
-			if seg[i] != seg[i-1] {
+			if seg[i] != seg[i-1] { //lint:allow saqpvet/floatcmp counting exact-value runs in sorted data
 				distinct++
 			}
 		}
@@ -94,7 +94,7 @@ func (h *EquiDepth) bucketOf(v float64) int {
 	}
 	i := sort.SearchFloat64s(h.Bounds, v)
 	// SearchFloat64s returns the first index with Bounds[i] >= v.
-	if i < len(h.Bounds) && h.Bounds[i] == v {
+	if i < len(h.Bounds) && h.Bounds[i] == v { //lint:allow saqpvet/floatcmp exact boundary hit from SearchFloat64s
 		if i == len(h.Buckets) {
 			return i - 1
 		}
@@ -106,7 +106,7 @@ func (h *EquiDepth) bucketOf(v float64) int {
 // SelectivityLT estimates the fraction of rows with value < x.
 func (h *EquiDepth) SelectivityLT(x float64) float64 {
 	total := h.Rows()
-	if total == 0 {
+	if total == 0 { //lint:allow saqpvet/floatcmp zero row mass means an empty histogram, an exact state
 		return 0
 	}
 	if x <= h.Bounds[0] {
@@ -132,11 +132,11 @@ func (h *EquiDepth) SelectivityLT(x float64) float64 {
 func (h *EquiDepth) SelectivityEQ(x float64) float64 {
 	total := h.Rows()
 	i := h.bucketOf(x)
-	if total == 0 || i < 0 {
+	if total == 0 || i < 0 { //lint:allow saqpvet/floatcmp zero row mass means an empty histogram, an exact state
 		return 0
 	}
 	b := h.Buckets[i]
-	if b.Distinct == 0 {
+	if b.Distinct == 0 { //lint:allow saqpvet/floatcmp distinct count of zero is an exact empty-bucket state
 		return 0
 	}
 	return clamp01(b.Count / b.Distinct / total)

@@ -8,6 +8,50 @@ import (
 	"saqp/internal/workload"
 )
 
+// FuzzEngineQuery is the native fuzz entry point CI's fuzz-smoke stage
+// drives for a few seconds per run: each fuzzed seed derives a fresh
+// random query which must compile, estimate, and execute without
+// crashing and with structurally sane (non-negative, stats-complete)
+// results. The heavier quantitative agreement checks stay in
+// TestRandomQueriesEstimatorVsEngine below.
+func FuzzEngineQuery(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 99, 1 << 32, ^uint64(0)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		e := newTestEngine(t)
+		est := selectivity.NewEstimator(fixtureCatalog(), selectivity.Config{BlockSize: 64 << 10})
+		q, _, err := workload.NewGenerator(seed).RandomQuery()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d, err := plan.Compile(q)
+		if err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, q)
+		}
+		qe, err := est.EstimateQuery(d)
+		if err != nil {
+			t.Fatalf("seed %d does not estimate: %v\n%s", seed, err, q)
+		}
+		res, err := e.RunQuery(d)
+		if err != nil {
+			t.Fatalf("seed %d does not execute: %v\n%s", seed, err, q)
+		}
+		for _, je := range qe.Jobs {
+			if je.IS < 0 || je.FS < 0 || je.OutRows < 0 {
+				t.Fatalf("seed %d job %s: negative estimate\n%s", seed, je.Job.ID, q)
+			}
+			st := res.Stats[je.Job.ID]
+			if st == nil {
+				t.Fatalf("seed %d: job %s has no execution stats", seed, je.Job.ID)
+			}
+			if st.OutRows < 0 || st.MedBytes < 0 {
+				t.Fatalf("seed %d job %s: negative measurement", seed, je.Job.ID)
+			}
+		}
+	})
+}
+
 // TestRandomQueriesEstimatorVsEngine fuzzes the whole stack: randomly
 // generated TPC-H/DS-shaped queries (including MAPJOIN hints, IN lists and
 // BETWEEN ranges) are estimated from statistics and executed for real; the

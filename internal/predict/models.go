@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"saqp/internal/core/floats"
 	"saqp/internal/plan"
 	"saqp/internal/selectivity"
 )
@@ -389,7 +390,7 @@ func summarize(name string, ps []predActual) GroupAccuracy {
 	r2 := 0.0
 	if ssTot > 0 {
 		r2 = 1 - ssRes/ssTot
-	} else if ssRes == 0 {
+	} else if floats.ApproxEqual(ssRes, 0, 1e-12) {
 		r2 = 1
 	}
 	avg := 0.0

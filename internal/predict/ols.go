@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"saqp/internal/core/floats"
 )
 
 // Sample is one training observation: a feature vector (without intercept)
@@ -90,7 +92,7 @@ func FitWeighted(samples []Sample, weight func(Sample) float64) (*Model, error) 
 	// Relative ridge: scale by each diagonal entry so units don't matter.
 	for i := 0; i < k; i++ {
 		xtx[i][i] *= 1 + 1e-9
-		if xtx[i][i] == 0 {
+		if floats.ApproxEqual(xtx[i][i], 0, 1e-12) {
 			xtx[i][i] = 1e-12
 		}
 	}
@@ -174,8 +176,8 @@ func (m *Model) RSquared(samples []Sample) float64 {
 		t := s.Target - mean
 		ssTot += t * t
 	}
-	if ssTot == 0 {
-		if ssRes == 0 {
+	if floats.ApproxEqual(ssTot, 0, 1e-12) {
+		if floats.ApproxEqual(ssRes, 0, 1e-12) {
 			return 1
 		}
 		return 0

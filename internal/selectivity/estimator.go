@@ -211,7 +211,7 @@ func (e *Estimator) scanInput(ts plan.TableScan) (input, error) {
 		}
 		projWidth += cs.AvgWidth
 	}
-	if projWidth == 0 {
+	if projWidth == 0 { //lint:allow saqpvet/floatcmp width sums are exact small-integer arithmetic
 		projWidth = 8 // count(*)-style scans still move a key per tuple
 	}
 	sProj := clamp01(projWidth / stats.AvgTupleWidth)
@@ -549,7 +549,7 @@ func (e *Estimator) estimateGroupby(job *plan.Job, je *JobEstimate, ins []input)
 		aggWidth = 0
 	}
 	mapOutWidth := keyWidth + aggWidth
-	if mapOutWidth == 0 {
+	if mapOutWidth == 0 { //lint:allow saqpvet/floatcmp width sums are exact small-integer arithmetic
 		mapOutWidth = 8
 	}
 	sProj := clamp01(mapOutWidth / in.rawWidth)
@@ -570,7 +570,7 @@ func (e *Estimator) estimateGroupby(job *plan.Job, je *JobEstimate, ins []input)
 		outRows = 1
 	}
 	wOut := keyWidth + aggWidth
-	if wOut == 0 {
+	if wOut == 0 { //lint:allow saqpvet/floatcmp width sums are exact small-integer arithmetic
 		wOut = 8
 	}
 	je.OutRows = outRows

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"saqp/internal/catalog"
@@ -105,9 +106,18 @@ type CatalogCache struct {
 // NewCatalogCache returns a cache producing catalogs with the given
 // histogram resolution.
 func NewCatalogCache(buckets int) *CatalogCache {
-	var list []*dataset.Schema
-	for _, s := range dataset.AllSchemas() {
-		list = append(list, s)
+	// Iterate the schema map in sorted-name order so every cache (and
+	// therefore every catalog, estimate, and schedule derived from it)
+	// sees the same table order regardless of map iteration.
+	all := dataset.AllSchemas()
+	names := make([]string, 0, len(all))
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	list := make([]*dataset.Schema, 0, len(names))
+	for _, name := range names {
+		list = append(list, all[name])
 	}
 	return &CatalogCache{buckets: buckets, schemas: list, cache: map[int64]*catalog.Catalog{}}
 }
