@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint fuzz-smoke ci clean
+.PHONY: all build test race lint fuzz-smoke bench ci clean
 
 all: build
 
@@ -33,8 +33,20 @@ fuzz-smoke:
 	$(GO) test -run TestRandomQueriesEstimatorVsEngine -count=1 ./internal/mapreduce
 	$(GO) test -fuzz FuzzEngineQuery -fuzztime 10s -run '^$$' ./internal/mapreduce
 
+# Regenerate the paper's tables and figures with full observability:
+# machine-readable BENCH_<exp>.json per experiment, a Perfetto-loadable
+# trace of the simulated runs (gzipped; Perfetto opens .json.gz
+# directly), and a Prometheus metrics dump, all under bench-out/.
+BENCH_QUERIES ?= 240
+bench:
+	@mkdir -p bench-out
+	$(GO) run ./cmd/benchrunner -exp all -queries $(BENCH_QUERIES) \
+		-bench-out bench-out -csv bench-out \
+		-trace bench-out/runs.trace.json -metrics bench-out/metrics.prom
+	gzip -f -9 bench-out/runs.trace.json
+
 # Everything CI runs, in the same order.
 ci: build lint test race fuzz-smoke
 
 clean:
-	rm -rf $(BIN)
+	rm -rf $(BIN) bench-out

@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,29 +19,60 @@ import (
 	"sort"
 	"strconv"
 	"text/tabwriter"
+	"time"
 
 	"saqp"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2|table3|table4|table5|fig2|fig5|fig6|fig7|fig8|all")
-		queries = flag.Int("queries", 240, "corpus size (paper: 1000)")
-		gap     = flag.Float64("gap", 12, "mean Poisson inter-arrival gap in seconds for fig8")
-		seed    = flag.Uint64("seed", 2018, "experiment seed")
-		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		exp      = flag.String("exp", "all", "experiment: table2|table3|table4|table5|fig2|fig5|fig6|fig7|fig8|all")
+		queries  = flag.Int("queries", 240, "corpus size (paper: 1000)")
+		gap      = flag.Float64("gap", 12, "mean Poisson inter-arrival gap in seconds for fig8")
+		seed     = flag.Uint64("seed", 2018, "experiment seed")
+		csvDir   = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs (fig2/fig8) to this file")
+		promOut  = flag.String("metrics", "", "write Prometheus text-format metrics to this file")
+		benchDir = flag.String("bench-out", "", "write machine-readable BENCH_<exp>.json results into this directory")
 	)
 	flag.Parse()
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	for _, dir := range []string{*csvDir, *benchDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
 	}
-	if err := run(*exp, *queries, *gap, *seed, *csvDir); err != nil {
+	if err := run(*exp, *queries, *gap, *seed, *csvDir, *traceOut, *promOut, *benchDir); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
+}
+
+// benchReport is one experiment's machine-readable result: wall time plus
+// the metrics registry state after it ran. Counters accumulate across a
+// multi-experiment invocation, so each report's metrics are cumulative up
+// to and including its experiment.
+type benchReport struct {
+	Experiment  string                `json:"experiment"`
+	Queries     int                   `json:"corpus_queries"`
+	Seed        uint64                `json:"seed"`
+	WallSeconds float64               `json:"wall_seconds"`
+	Metrics     saqp.RegistrySnapshot `json:"metrics"`
+}
+
+// writeBench writes one BENCH_<name>.json report; a no-op when dir is "".
+func writeBench(dir string, r benchReport) error {
+	if dir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+r.Experiment+".json"), append(data, '\n'), 0o644)
 }
 
 // writeCSV writes rows (first row = header) to <dir>/<name>.csv; a no-op
@@ -65,10 +97,24 @@ func writeCSV(dir, name string, rows [][]string) error {
 // f2 formats a float for CSV.
 func f2(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
-func run(exp string, queries int, gap float64, seed uint64, csvDir string) error {
+func run(exp string, queries int, gap float64, seed uint64, csvDir, traceOut, promOut, benchDir string) error {
 	cfg := saqp.DefaultExperimentConfig()
 	cfg.CorpusQueries = queries
 	cfg.Seed = seed
+
+	var traceFile *os.File
+	if traceOut != "" || promOut != "" || benchDir != "" {
+		var sink *saqp.TraceSink
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			sink = saqp.NewTraceSink(f)
+		}
+		cfg.Observer = saqp.NewObserver(sink)
+	}
 
 	needModels := map[string]bool{
 		"table3": true, "table4": true, "table5": true,
@@ -102,7 +148,16 @@ func run(exp string, queries int, gap float64, seed uint64, csvDir string) error
 	ran := false
 	for _, r := range runners {
 		if exp == "all" || exp == r.name {
+			begin := time.Now()
 			if err := r.fn(); err != nil {
+				return fmt.Errorf("%s: %w", r.name, err)
+			}
+			report := benchReport{Experiment: r.name, Queries: queries, Seed: seed,
+				WallSeconds: time.Since(begin).Seconds()}
+			if cfg.Observer != nil {
+				report.Metrics = cfg.Observer.Metrics.Snapshot()
+			}
+			if err := writeBench(benchDir, report); err != nil {
 				return fmt.Errorf("%s: %w", r.name, err)
 			}
 			ran = true
@@ -110,6 +165,29 @@ func run(exp string, queries int, gap float64, seed uint64, csvDir string) error
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if err := cfg.Observer.Close(); err != nil {
+		return err
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nWrote trace to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
+	if promOut != "" {
+		f, err := os.Create(promOut)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Observer.Metrics.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Wrote metrics to %s\n", promOut)
 	}
 	return nil
 }

@@ -8,6 +8,13 @@
 //
 //	saqp -query "SELECT c_name, count(*) FROM customer JOIN orders ON o_custkey = c_custkey GROUP BY c_name"
 //	saqp -sf 10 -train -query "..."
+//
+// With -trace and/or -metrics the query is additionally executed on the
+// simulated cluster under -scheduler, producing a Chrome trace-event
+// JSON (open in Perfetto: ui.perfetto.dev) and a Prometheus text-format
+// metrics dump. Both outputs are deterministic for a fixed -seed.
+//
+//	saqp -query "..." -trace run.trace.json -metrics run.prom
 package main
 
 import (
@@ -21,11 +28,15 @@ import (
 
 func main() {
 	var (
-		sql     = flag.String("query", "", "HiveQL query text (required)")
-		sf      = flag.Float64("sf", 10, "scale factor of the synthetic database (1 ≈ 1 GB TPC-H)")
-		train   = flag.Bool("train", false, "train the time models on a synthetic corpus (slower; enables predictions)")
-		queries = flag.Int("train-queries", 160, "corpus size when -train is set")
-		models  = flag.String("models", "", "path to a trained-models JSON bundle: loaded if it exists, written after -train otherwise")
+		sql      = flag.String("query", "", "HiveQL query text (required)")
+		sf       = flag.Float64("sf", 10, "scale factor of the synthetic database (1 ≈ 1 GB TPC-H)")
+		train    = flag.Bool("train", false, "train the time models on a synthetic corpus (slower; enables predictions)")
+		queries  = flag.Int("train-queries", 160, "corpus size when -train is set")
+		models   = flag.String("models", "", "path to a trained-models JSON bundle: loaded if it exists, written after -train otherwise")
+		traceOut = flag.String("trace", "", "simulate the query and write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+		promOut  = flag.String("metrics", "", "simulate the query and write Prometheus text-format metrics to this file")
+		schedler = flag.String("scheduler", saqp.SchedulerSWRD, "scheduler for the simulated run (HCS|HFS|SWRD)")
+		seed     = flag.Uint64("seed", 2018, "cost-model seed for the simulated run")
 	)
 	flag.Parse()
 	if *sql == "" {
@@ -33,14 +44,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*sql, *sf, *train, *queries, *models); err != nil {
+	if err := run(*sql, *sf, *train, *queries, *models, *traceOut, *promOut, *schedler, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "saqp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sql string, sf float64, train bool, trainQueries int, modelsPath string) error {
-	fw, err := saqp.NewFramework(saqp.Options{ScaleFactor: sf})
+func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
+	traceOut, promOut, scheduler string, seed uint64) error {
+	var o *saqp.Observer
+	var traceFile *os.File
+	if traceOut != "" || promOut != "" {
+		var sink *saqp.TraceSink
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			sink = saqp.NewTraceSink(f)
+		}
+		o = saqp.NewObserver(sink)
+	}
+	fw, err := saqp.NewFramework(saqp.Options{ScaleFactor: sf, Observer: o})
 	if err != nil {
 		return err
 	}
@@ -78,7 +104,7 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath string
 
 	if !train && fw.TaskTime == nil {
 		fmt.Println("\n(run with -train to predict execution time and WRD)")
-		return nil
+		return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed)
 	}
 	if train {
 		fmt.Printf("\nTraining time models on %d synthetic queries...\n", trainQueries)
@@ -117,6 +143,44 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath string
 			return err
 		}
 		fmt.Printf("  %s predicted job time (Eq. 8): %.1f s\n", je.Job.ID, js)
+	}
+	return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed)
+}
+
+// simulate runs the estimated query on the simulated cluster when an
+// observer was requested, then flushes the trace and metrics outputs.
+func simulate(fw *saqp.Framework, o *saqp.Observer, est *saqp.QueryEstimate,
+	traceFile *os.File, traceOut, promOut, scheduler string, seed uint64) error {
+	if o == nil {
+		return nil
+	}
+	secs, err := fw.SimulateQuery("q1", est, scheduler, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSimulated response time (alone, %s): %.1f s\n", scheduler, secs)
+	if err := o.Close(); err != nil {
+		return err
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Wrote trace to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
+	if promOut != "" {
+		f, err := os.Create(promOut)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Wrote metrics to %s\n", promOut)
 	}
 	return nil
 }

@@ -33,24 +33,40 @@ func main() {
 	fmt.Printf("Corpus: %d queries -> %d MapReduce jobs, %d task samples\n",
 		len(art.Corpus.Runs), art.Corpus.NumJobs(), len(art.Corpus.TaskSamples))
 
+	// Replay the training samples through the observability layer's drift
+	// recorder and print Tables 3-5 from its snapshot: the same numbers
+	// live instrumentation accumulates during simulated runs.
+	o := saqp.NewObserver(nil)
+	saqp.RecordCorpusDrift(art, o)
+	drift := o.Drift.Snapshot()
+
 	t3 := saqp.ReproduceTable3(art)
-	fmt.Println("\nTable 3 — job execution time (training set):")
-	for _, r := range t3.TrainRows {
+	fmt.Println("\nTable 3 — job execution time (training set, via drift recorder):")
+	for _, r := range drift.Jobs {
 		fmt.Printf("  %-8s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
-			r.Op, 100*r.RSquared, 100*r.AvgError, r.N)
+			r.Category, 100*r.RSquared, 100*r.MeanRelError, r.N)
 	}
 	fmt.Printf("  TestSet avg err=%6.2f%% over %d jobs (paper: 13.98%%)\n",
 		100*t3.TestSetAvgError, t3.TestSetJobs)
 
-	fmt.Println("\nTable 4 — map task time (training set):")
-	for _, r := range saqp.ReproduceTable4(art) {
-		fmt.Printf("  %-8s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
-			r.Op, 100*r.RSquared, 100*r.AvgError, r.N)
+	fmt.Println("\nTables 4 and 5 — map/reduce task time (training set, via drift recorder):")
+	for _, r := range drift.Tasks {
+		fmt.Printf("  %-16s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
+			r.Category, 100*r.RSquared, 100*r.MeanRelError, r.N)
 	}
-	fmt.Println("\nTable 5 — reduce task time (training set):")
-	for _, r := range saqp.ReproduceTable5(art) {
-		fmt.Printf("  %-8s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
-			r.Op, 100*r.RSquared, 100*r.AvgError, r.N)
+	together := map[bool][]saqp.GroupAccuracy{false: saqp.ReproduceTable4(art), true: saqp.ReproduceTable5(art)}
+	for _, reduce := range []bool{false, true} {
+		for _, r := range together[reduce] {
+			if r.Op != "Together" {
+				continue
+			}
+			phase := "map"
+			if reduce {
+				phase = "reduce"
+			}
+			fmt.Printf("  Together/%-7s R²=%6.2f%%  avg err=%6.2f%%  (n=%d)\n",
+				phase, 100*r.RSquared, 100*r.AvgError, r.N)
+		}
 	}
 
 	pts := saqp.ReproduceFig6(art)

@@ -4,13 +4,19 @@
 // the Hadoop Capacity Scheduler (HCS), the Hadoop Fair Scheduler (HFS),
 // and the paper's semantics-aware Smallest-WRD-first scheduler (SWRD).
 //
-//	go run ./examples/scheduler-comparison [-gap 12] [-queries 200]
+// The runs are observable: -trace writes a Chrome trace-event JSON of
+// every simulated run (open in ui.perfetto.dev), -metrics a Prometheus
+// text-format dump, and the summary includes the live prediction-drift
+// snapshot accumulated while the workloads executed.
+//
+//	go run ./examples/scheduler-comparison [-gap 12] [-queries 200] [-trace out.json] [-metrics out.prom]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"saqp"
 )
@@ -18,10 +24,25 @@ import (
 func main() {
 	gap := flag.Float64("gap", 12, "mean Poisson inter-arrival gap (seconds)")
 	queries := flag.Int("queries", 200, "training corpus size")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
+	promOut := flag.String("metrics", "", "write Prometheus text-format metrics to this file")
 	flag.Parse()
+
+	var traceFile *os.File
+	var sink *saqp.TraceSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile = f
+		sink = saqp.NewTraceSink(f)
+	}
+	o := saqp.NewObserver(sink)
 
 	cfg := saqp.DefaultExperimentConfig()
 	cfg.CorpusQueries = *queries
+	cfg.Observer = o
 	fmt.Printf("Training prediction models on %d synthetic queries...\n", *queries)
 	art, err := saqp.BuildTrainedArtifacts(cfg)
 	if err != nil {
@@ -52,6 +73,43 @@ func main() {
 	}
 	fmt.Println("\nPaper Figure 8: SWRD reduces average response times by 40.2%/43.9%")
 	fmt.Println("versus HFS and 72.8%/27.4% versus HCS on Bing/Facebook.")
+
+	// Live prediction drift accumulated across every simulated run: Eq. 8
+	// job predictions against simulated times under concurrent load, and
+	// the estimator's IS/FS output against the oracle catalog.
+	drift := o.Drift.Snapshot()
+	fmt.Println("\nPrediction drift during the runs (job time under load):")
+	for _, s := range drift.Jobs {
+		fmt.Printf("  %-8s mean rel err=%6.1f%%  pred mean=%7.1f s  actual mean=%7.1f s  (n=%d)\n",
+			s.Category, 100*s.MeanRelError, s.MeanPredicted, s.MeanActual, s.N)
+	}
+	fmt.Println("Selectivity estimate drift (estimator vs oracle):")
+	for _, s := range drift.Estimates {
+		fmt.Printf("  %-12s mean rel err=%6.1f%%  (n=%d)\n", s.Category, 100*s.MeanRelError, s.N)
+	}
+
+	if err := o.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nWrote trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := o.Metrics.WritePrometheus(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Wrote metrics to %s\n", *promOut)
+	}
 }
 
 func repeat(c byte, n int) string {

@@ -8,6 +8,7 @@ import (
 	"saqp/internal/core"
 	"saqp/internal/plan"
 	"saqp/internal/predict"
+	"saqp/internal/sched"
 	"saqp/internal/selectivity"
 	"saqp/internal/trace"
 	"saqp/internal/workload"
@@ -26,6 +27,10 @@ type ExperimentConfig struct {
 	Seed uint64
 	// Cluster sizes the simulated testbed.
 	Cluster cluster.Config
+	// Observer, when non-nil, instruments the simulated workload runs
+	// (Fig. 2 and Fig. 8): trace spans, cluster metrics, scheduler
+	// decisions, and prediction drift per job category.
+	Observer *Observer
 }
 
 // DefaultExperimentConfig mirrors the paper's setup at a size that runs in
@@ -72,6 +77,22 @@ func BuildTrainedArtifacts(cfg ExperimentConfig) (*TrainedArtifacts, error) {
 		return nil, err
 	}
 	return &TrainedArtifacts{Corpus: corpus, Train: train, Test: test, Jobs: jm, Tasks: tm}, nil
+}
+
+// RecordCorpusDrift replays the artifacts' training samples through an
+// observer's drift recorder, scoring each with exactly the model the
+// accuracy tables use, so the live drift snapshot reproduces the
+// per-category mean relative error of Tables 3–5.
+func RecordCorpusDrift(a *TrainedArtifacts, o *Observer) {
+	if a == nil || o == nil || o.Drift == nil {
+		return
+	}
+	for _, s := range a.Train.JobSamples {
+		o.Drift.RecordJob(s.Op.String(), a.Jobs.PredictSample(s), s.Seconds)
+	}
+	for _, s := range a.Train.TaskSamples {
+		o.Drift.RecordTask(s.Op.String(), s.Reduce, a.Tasks.PredictTaskSample(s), s.Seconds)
+	}
 }
 
 // overheadsFor translates a cluster config into predictor overheads.
@@ -267,44 +288,47 @@ func ReproduceFig2(scheduler string, a *TrainedArtifacts, cfg ExperimentConfig) 
 		{"QB", qbSQL, 100e9, 5},
 		{"QC", qaSQL, 10e9, 10},
 	}
-	fw, err := NewFramework(Options{})
+	fw, err := NewFramework(Options{Observer: cfg.Observer})
 	if err != nil {
 		return nil, err
 	}
 	estCache := workload.NewCatalogCache(64)
 	oraCache := workload.NewCatalogCache(1024)
 
-	build := func(cmSeed uint64) ([]*cluster.Query, []float64, error) {
+	build := func(cmSeed uint64, o *Observer) ([]*cluster.Query, []float64, []*selectivity.QueryEstimate, error) {
 		cm := defaultCostModel(cmSeed)
 		var qs []*cluster.Query
 		var inputs []float64
+		var ests []*selectivity.QueryEstimate
 		for _, sp := range specs {
 			d, err := fw.Compile(sp.sql)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			sf := workload.SFForTargetBytes(d.Query, sp.target)
 			oracle, err := selectivity.NewEstimator(oraCache.Get(sf), selectivity.Config{}).EstimateQuery(d)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			est, err := selectivity.NewEstimator(estCache.Get(sf), selectivity.Config{}).EstimateQuery(d)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
-			cq := percolate(a, sp.name, oracle, est, cm)
+			cq := percolate(a, o, sp.name, oracle, est, cm)
 			qs = append(qs, cq)
 			inputs = append(inputs, oracle.TotalInputBytes())
+			ests = append(ests, est)
 		}
-		return qs, inputs, nil
+		return qs, inputs, ests, nil
 	}
 
-	// Concurrent run.
-	qs, inputs, err := build(cfg.Seed ^ 0x515)
+	// Concurrent run — the only one the observer instruments, so the trace
+	// shows the thrashing rather than three quiet standalone runs.
+	qs, inputs, ests, err := build(cfg.Seed^0x515, cfg.Observer)
 	if err != nil {
 		return nil, err
 	}
-	sim := cluster.New(cfg.Cluster, pol)
+	sim := cluster.New(cfg.Cluster, sched.Instrument(pol, cfg.Observer)).SetObserver(cfg.Observer)
 	for i, q := range qs {
 		sim.Submit(q, specs[i].arrival)
 	}
@@ -312,11 +336,16 @@ func ReproduceFig2(scheduler string, a *TrainedArtifacts, cfg ExperimentConfig) 
 	if err != nil {
 		return nil, err
 	}
+	if a != nil {
+		for i, q := range qs {
+			recordJobDrift(cfg.Observer, a.Jobs, ests[i], q)
+		}
+	}
 
 	// Alone runs (same cost-model seed → same task durations).
 	alone := make([]float64, len(specs))
 	for i := range specs {
-		qs2, _, err := build(cfg.Seed ^ 0x515)
+		qs2, _, _, err := build(cfg.Seed^0x515, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -369,14 +398,46 @@ type Fig8Result struct {
 }
 
 // percolate attaches the artifacts' semantics-aware predictions to a
-// query (cross-layer semantics percolation, internal/core).
-func percolate(a *TrainedArtifacts, id string, truth, est *selectivity.QueryEstimate,
+// query (cross-layer semantics percolation, internal/core). A non-nil
+// observer records the estimator's IS/FS output against the oracle
+// values for each job.
+func percolate(a *TrainedArtifacts, o *Observer, id string, truth, est *selectivity.QueryEstimate,
 	cm *trace.CostModel) *cluster.Query {
+	recordEstimateDrift(o, truth, est)
 	var tm *predict.TaskModel
 	if a != nil {
 		tm = a.Tasks
 	}
 	return core.Percolate(id, truth, est, cm, tm).Query
+}
+
+// recordEstimateDrift logs per-job selectivity estimates (IS/FS) against
+// the oracle catalog's values, keyed by operator category.
+func recordEstimateDrift(o *Observer, truth, est *selectivity.QueryEstimate) {
+	if o == nil || o.Drift == nil || truth == nil || est == nil {
+		return
+	}
+	for ji, je := range est.Jobs {
+		tj := truth.Jobs[ji]
+		cat := je.Job.Type.String()
+		o.Drift.RecordEstimate(cat, "IS", je.IS, tj.IS)
+		o.Drift.RecordEstimate(cat, "FS", je.FS, tj.FS)
+	}
+}
+
+// recordJobDrift logs Eq. 8 job-time predictions (from the estimator's
+// features) against the simulated execution times of a finished query.
+func recordJobDrift(o *Observer, jm *predict.JobModel, est *selectivity.QueryEstimate, q *cluster.Query) {
+	if o == nil || o.Drift == nil || jm == nil || est == nil || q == nil {
+		return
+	}
+	for ji, je := range est.Jobs {
+		sj := q.Jobs[ji]
+		if sj.DoneTime <= sj.SubmitTime {
+			continue
+		}
+		o.Drift.RecordJob(je.Job.Type.String(), jm.PredictJob(je), sj.DoneTime-sj.SubmitTime)
+	}
 }
 
 // ReproduceFig8 runs one workload mix under the three schedulers and
@@ -431,22 +492,33 @@ func ReproduceFig8(mix string, a *TrainedArtifacts, cfg ExperimentConfig, meanGa
 	}
 
 	var out []Fig8Result
-	for _, name := range []string{SchedulerHCS, SchedulerHFS, SchedulerSWRD} {
+	for si, name := range []string{SchedulerHCS, SchedulerHFS, SchedulerSWRD} {
 		pol, err := schedulerByName(name)
 		if err != nil {
 			return nil, err
 		}
 		cm := defaultCostModel(cfg.Seed ^ 0xc0ffee)
-		sim := cluster.New(cfg.Cluster, pol)
+		sim := cluster.New(cfg.Cluster, sched.Instrument(pol, cfg.Observer)).SetObserver(cfg.Observer)
+		// Estimate drift is per-query, not per-run: record it only on the
+		// first scheduler pass so replays don't triple-count samples.
+		po := cfg.Observer
+		if si > 0 {
+			po = nil
+		}
 		var queries []*cluster.Query
 		for _, it := range items {
-			cq := percolate(a, it.name, it.oracle, it.est, cm)
+			cq := percolate(a, po, it.name, it.oracle, it.est, cm)
 			queries = append(queries, cq)
 			sim.Submit(cq, it.arrival)
 		}
 		res, err := sim.Run()
 		if err != nil {
 			return nil, fmt.Errorf("saqp: %s under %s: %w", mix, name, err)
+		}
+		if a != nil {
+			for qi, q := range queries {
+				recordJobDrift(cfg.Observer, a.Jobs, items[qi].est, q)
+			}
 		}
 		byBin := map[int]float64{}
 		binN := map[int]int{}

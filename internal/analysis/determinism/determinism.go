@@ -46,6 +46,10 @@ var Analyzer = &analysis.Analyzer{
 		"saqp/internal/sched",
 		"saqp/internal/mapreduce",
 		"saqp/internal/workload",
+		// The observability layer promises byte-identical traces, metrics
+		// and drift snapshots for a fixed seed; a wall-clock timestamp or
+		// map-ordered serialisation would break that silently.
+		"saqp/internal/obs",
 	},
 	Run: run,
 }

@@ -11,6 +11,13 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, determinism.Analyzer, "testdata/src/a")
 }
 
+// TestObservability covers the observability-flavoured fixture: trace
+// timestamps from the wall clock and map-ordered serialisation are the
+// failure modes that would silently break byte-identical trace output.
+func TestObservability(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/src/b")
+}
+
 func TestScope(t *testing.T) {
 	for _, pkg := range []string{
 		"saqp/internal/sim",
@@ -18,6 +25,7 @@ func TestScope(t *testing.T) {
 		"saqp/internal/sched",
 		"saqp/internal/mapreduce",
 		"saqp/internal/workload",
+		"saqp/internal/obs",
 	} {
 		if !determinism.Analyzer.AppliesTo(pkg) {
 			t.Errorf("determinism should apply to %s", pkg)

@@ -1,0 +1,62 @@
+// Observability-flavoured fixture: the failure modes an instrumentation
+// layer invites — wall-clock event timestamps and map-iteration-ordered
+// serialisation — must be flagged, while the sim-clock and
+// collect-then-sort idioms the real obs package uses must not.
+package b
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// event is a trace event destined for a JSON line.
+type event struct {
+	name string
+	ts   int64
+}
+
+// Stamping an event from the wall clock decouples repeated runs.
+func stampWall(name string) event {
+	return event{name: name, ts: time.Now().UnixMicro()} // want `time.Now reads the wall clock`
+}
+
+// Stamping from the simulator's virtual clock is the sanctioned pattern.
+func stampSim(name string, nowSec float64) event {
+	return event{name: name, ts: int64(nowSec * 1e6)}
+}
+
+// Serialising a counter map in range order makes the exposition differ
+// between executions of the same binary.
+func exposeUnsorted(counters map[string]int64) []string {
+	var lines []string
+	for name, v := range counters { // want `appending to lines while ranging over a map`
+		lines = append(lines, name+" "+strconv.FormatInt(v, 10))
+	}
+	return lines
+}
+
+// The registry's collect-then-sort idiom is deterministic and unflagged.
+func exposeSorted(counters map[string]int64) []string {
+	var names []string
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var lines []string
+	for _, name := range names {
+		lines = append(lines, name+" "+strconv.FormatInt(counters[name], 10))
+	}
+	return lines
+}
+
+// Order-insensitive aggregation over a histogram map is fine.
+func totalObservations(hists map[string][]uint64) uint64 {
+	var n uint64
+	for _, counts := range hists {
+		for _, c := range counts {
+			n += c
+		}
+	}
+	return n
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"saqp/internal/obs"
 )
 
 // Config sizes the simulated cluster. Defaults mirror the paper's testbed:
@@ -113,7 +115,7 @@ type event struct {
 
 	query *Query // arrival
 	task  *Task  // finish
-	node  int    // node of the finishing attempt
+	slot  int    // slot of the finishing attempt
 	spec  bool   // the attempt was a speculative duplicate
 }
 
@@ -146,10 +148,14 @@ func (h *eventHeap) empty() bool   { return len(*h) == 0 }
 type Sim struct {
 	cfg   Config
 	sched Scheduler
+	obs   *obs.Observer // nil disables all instrumentation
 
-	factors  []float64
-	mapFree  []int // free map slots (node ids)
-	redFree  []int // free reduce slots (node ids)
+	factors []float64
+	// mapFree and redFree hold free slot ids. A map slot id s lives on
+	// node s / MapSlotsPerNode (reduce slots analogously), giving every
+	// task a stable (node, slot) identity for observability.
+	mapFree  []int
+	redFree  []int
 	events   eventHeap
 	seq      int
 	now      float64
@@ -174,14 +180,37 @@ func New(cfg Config, sched Scheduler) *Sim {
 	}
 	for n := 0; n < cfg.Nodes; n++ {
 		for k := 0; k < cfg.MapSlotsPerNode; k++ {
-			s.mapFree = append(s.mapFree, n)
+			s.mapFree = append(s.mapFree, n*cfg.MapSlotsPerNode+k)
 		}
 		for k := 0; k < cfg.ReduceSlotsPerNode; k++ {
-			s.redFree = append(s.redFree, n)
+			s.redFree = append(s.redFree, n*cfg.ReduceSlotsPerNode+k)
 		}
 	}
 	s.slotsTot = len(s.mapFree) + len(s.redFree)
 	return s
+}
+
+// SetObserver attaches the observability layer to this run: lifecycle
+// events (submit, init, dispatch, slowstart hoarding, preemption,
+// speculation, completion) flow to o's trace, metrics and drift sinks,
+// timestamped with the simulator's virtual clock. A nil o (the default)
+// keeps the hot path free of instrumentation. To also record scheduler
+// decisions, wrap the policy with sched.Instrument before New.
+func (s *Sim) SetObserver(o *obs.Observer) *Sim {
+	s.obs = o
+	if o != nil {
+		o.RunStarted(s.sched.Name())
+		o.ClusterInfo(s.cfg.Nodes, s.cfg.MapSlotsPerNode, s.cfg.ReduceSlotsPerNode)
+	}
+	return s
+}
+
+// nodeOf maps a slot id back to its node index.
+func (s *Sim) nodeOf(slot int, reduce bool) int {
+	if reduce {
+		return slot / s.cfg.ReduceSlotsPerNode
+	}
+	return slot / s.cfg.MapSlotsPerNode
 }
 
 // MapSlots returns the total map slot count.
@@ -254,7 +283,7 @@ func (s *Sim) Run() (*Results, error) {
 		case evArrival:
 			s.arrive(e.query)
 		case evFinish:
-			s.finish(e.task, e.node, e.spec)
+			s.finish(e.task, e.slot, e.spec)
 		case evWake:
 			// no state change; jobs become ready by time passing
 		}
@@ -274,6 +303,7 @@ func (s *Sim) Run() (*Results, error) {
 
 // arrive submits a query's root jobs.
 func (s *Sim) arrive(q *Query) {
+	s.obs.QueryArrived(s.now, q.ID, len(q.Jobs), q.InputBytes)
 	for _, j := range q.Jobs {
 		if len(j.DepIDs) == 0 {
 			s.submitJob(j)
@@ -290,6 +320,7 @@ func (s *Sim) submitJob(j *Job) {
 		s.seq++
 		s.events.push(&event{time: j.ReadyTime, kind: evWake, seq: s.seq})
 	}
+	s.obs.JobSubmitted(s.now, j.ReadyTime, j.Query.ID, j.ID, j.Type.String(), len(j.Maps), len(j.Reds))
 }
 
 // reduceLaunchAllowed reports whether job j may launch another reduce now.
@@ -337,29 +368,38 @@ func (s *Sim) reduceLaunchAllowed(j *Job) bool {
 // finish completes a task attempt, frees its slot, and cascades job/query
 // completion (submitting dependents). With speculative execution a task can
 // have two attempts; the second completion only frees its slot.
-func (s *Sim) finish(t *Task, node int, spec bool) {
+func (s *Sim) finish(t *Task, slot int, spec bool) {
 	j := t.Job
 	if t.State == TaskDone {
 		// A slower duplicate attempt finished after the task completed.
 		if t.Reduce {
-			s.redFree = append(s.redFree, node)
+			s.redFree = append(s.redFree, slot)
 		} else {
-			s.mapFree = append(s.mapFree, node)
+			s.mapFree = append(s.mapFree, slot)
 		}
 		return
 	}
 	t.State = TaskDone
 	t.EndTime = s.now
 	t.Speculated = t.Speculated || spec
+	start := t.StartTime
+	if spec {
+		start = t.specStart
+	}
+	s.obs.TaskFinished(s.now, start, j.Query.ID, j.ID, j.Type.String(), t.Reduce,
+		t.Index, s.nodeOf(slot, t.Reduce), slot, t.PredSec, spec)
 	if t.Reduce {
 		j.doneReds++
-		s.redFree = append(s.redFree, node)
+		s.redFree = append(s.redFree, slot)
 	} else {
 		j.doneMaps++
-		s.mapFree = append(s.mapFree, node)
+		s.mapFree = append(s.mapFree, slot)
 		// The map phase just completed: hoarding reduces (launched early,
 		// waiting for shuffle input) can now run to completion.
 		if j.MapsDone() {
+			if len(j.hoarding) > 0 {
+				s.obs.ShuffleReady(s.now, j.Query.ID, j.ID, j.Type.String(), len(j.hoarding))
+			}
 			for _, r := range j.hoarding {
 				// The slot was occupied (but idle) during the hoard window.
 				s.busySec += s.now - r.StartTime
@@ -373,6 +413,7 @@ func (s *Sim) finish(t *Task, node int, spec bool) {
 		return
 	}
 	j.DoneTime = s.now
+	s.obs.JobFinished(s.now, j.SubmitTime, j.Query.ID, j.ID, j.Type.String())
 	// Remove from active set.
 	for i, a := range s.active {
 		if a == j {
@@ -403,6 +444,7 @@ func (s *Sim) finish(t *Task, node int, spec bool) {
 	}
 	if q.Done() {
 		q.DoneTime = s.now
+		s.obs.QueryFinished(s.now, q.ArrivalTime, q.ID)
 	}
 }
 
@@ -412,7 +454,7 @@ func (s *Sim) scheduleFinish(t *Task) {
 	dur := t.ActualSec/s.factors[t.node] + s.cfg.SchedulingOverheadSec
 	s.busySec += dur
 	s.seq++
-	s.events.push(&event{time: s.now + dur, kind: evFinish, seq: s.seq, task: t, node: t.node})
+	s.events.push(&event{time: s.now + dur, kind: evFinish, seq: s.seq, task: t, slot: t.slot})
 }
 
 // dispatch assigns runnable tasks to free slots until the scheduler
@@ -494,7 +536,8 @@ func (s *Sim) speculate(reduce bool, pool *[]int) {
 		if victim == nil {
 			return
 		}
-		n := (*pool)[len(*pool)-1]
+		slot := (*pool)[len(*pool)-1]
+		n := s.nodeOf(slot, reduce)
 		// A duplicate on the same (slow) node cannot help.
 		if n == victim.node && s.cfg.Nodes > 1 {
 			return
@@ -505,10 +548,13 @@ func (s *Sim) speculate(reduce bool, pool *[]int) {
 		}
 		*pool = (*pool)[:len(*pool)-1]
 		victim.speculating = true
+		victim.specStart = s.now
 		s.busySec += dur
 		s.seq++
 		s.events.push(&event{time: s.now + dur, kind: evFinish, seq: s.seq,
-			task: victim, node: n, spec: true})
+			task: victim, slot: slot, spec: true})
+		s.obs.SpeculativeLaunched(s.now, victim.Job.Query.ID, victim.Job.ID,
+			reduce, victim.Index, victim.node, slot)
 	}
 }
 
@@ -552,13 +598,15 @@ func (s *Sim) preemptForRunnableReduce() bool {
 		}
 	}
 	// The hoard window occupied the slot; account for it, then requeue.
+	s.obs.ReducePreempted(s.now, owner.Query.ID, owner.ID, victim.Index,
+		victim.slot, s.now-victim.StartTime)
 	s.busySec += s.now - victim.StartTime
 	victim.State = TaskPending
 	victim.StartTime = 0
 	owner.pendingReds++
 	owner.Query.remainingWRD += victim.PredSec
 	s.hoarded--
-	s.redFree = append(s.redFree, victim.node)
+	s.redFree = append(s.redFree, victim.slot)
 	return true
 }
 
@@ -596,9 +644,10 @@ func (s *Sim) candidates(reduce bool) []*Job {
 // start occupies a slot with a task. Early-launched reduces hoard the slot
 // until their job's map phase completes.
 func (s *Sim) start(t *Task, pool *[]int) {
-	n := (*pool)[len(*pool)-1]
+	slot := (*pool)[len(*pool)-1]
 	*pool = (*pool)[:len(*pool)-1]
-	t.node = n
+	t.slot = slot
+	t.node = s.nodeOf(slot, t.Reduce)
 	t.State = TaskRunning
 	t.StartTime = s.now
 	j := t.Job
@@ -611,7 +660,10 @@ func (s *Sim) start(t *Task, pool *[]int) {
 	if j.Query.remainingWRD < 0 {
 		j.Query.remainingWRD = 0
 	}
-	if t.Reduce && !j.MapsDone() {
+	hoarding := t.Reduce && !j.MapsDone()
+	s.obs.TaskStarted(s.now, j.Query.ID, j.ID, j.Type.String(), t.Reduce,
+		t.Index, t.node, slot, t.PredSec, hoarding)
+	if hoarding {
 		// Shuffle cannot complete until the maps do: hold the slot.
 		j.hoarding = append(j.hoarding, t)
 		s.hoarded++

@@ -53,8 +53,14 @@ type Task struct {
 
 	// node is the hosting node index, set at dispatch.
 	node int
+	// slot is the hosting slot id within the phase's pool, set at
+	// dispatch — the task's stable track in the observability layer.
+	slot int
 	// speculating marks that a duplicate attempt is already in flight.
 	speculating bool
+	// specStart is when the duplicate attempt launched (valid while
+	// speculating).
+	specStart float64
 }
 
 // Job is one MapReduce job inside a query.

@@ -1,0 +1,159 @@
+package obs_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"saqp/internal/obs"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("saqp_test_values_seconds", []float64{1, 2, 5})
+
+	cases := []struct {
+		v      float64
+		accept bool
+	}{
+		{0, true},             // below the first bound → first bucket
+		{1, true},             // exactly on a bound → that bucket (le is inclusive)
+		{1.5, true},           // interior
+		{5, true},             // on the last finite bound
+		{100, true},           // above every bound → +Inf overflow bucket
+		{math.Inf(1), true},   // +Inf itself lands in the overflow bucket
+		{-0.5, false},         // negative rejected
+		{math.NaN(), false},   // NaN rejected
+		{math.Inf(-1), false}, // -Inf rejected
+	}
+	for _, c := range cases {
+		if got := h.Observe(c.v); got != c.accept {
+			t.Errorf("Observe(%v) accepted=%v, want %v", c.v, got, c.accept)
+		}
+	}
+
+	s := h.Snapshot()
+	wantCounts := []uint64{2, 1, 1, 2} // le=1, le=2, le=5, +Inf
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("counts len = %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Rejected != 3 {
+		t.Errorf("rejected = %d, want 3", s.Rejected)
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets should panic")
+		}
+	}()
+	obs.NewRegistry().Histogram("saqp_test_bad_seconds", []float64{2, 1})
+}
+
+func TestValidateName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name should panic")
+		}
+	}()
+	obs.NewRegistry().Counter("saqp-bad-name")
+}
+
+// TestPrometheusFormat checks the exposition against the text-format
+// grammar: TYPE lines, cumulative non-decreasing buckets ending in +Inf,
+// and _count consistency.
+func TestPrometheusFormat(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("saqp_test_events_total").Add(3)
+	r.Gauge("saqp_test_depth").Set(-2.5)
+	h := r.Histogram("saqp_test_latency_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(50)
+	r.Help("saqp_test_events_total", "events seen")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP saqp_test_events_total events seen\n",
+		"# TYPE saqp_test_events_total counter\nsaqp_test_events_total 3\n",
+		"# TYPE saqp_test_depth gauge\nsaqp_test_depth -2.5\n",
+		"# TYPE saqp_test_latency_seconds histogram\n",
+		`saqp_test_latency_seconds_bucket{le="1"} 1`,
+		`saqp_test_latency_seconds_bucket{le="10"} 1`,
+		`saqp_test_latency_seconds_bucket{le="+Inf"} 2`,
+		"saqp_test_latency_seconds_sum 50.5\n",
+		"saqp_test_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Every sample line must be "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestExpositionDeterministic: two registries fed identically serialise
+// byte-identically (metric creation order must not matter).
+func TestExpositionDeterministic(t *testing.T) {
+	fill := func(order []string) string {
+		r := obs.NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Inc()
+		}
+		r.Histogram("saqp_test_h_seconds", nil).Observe(2)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := fill([]string{"saqp_test_b_total", "saqp_test_a_total", "saqp_test_c_total"})
+	b := fill([]string{"saqp_test_c_total", "saqp_test_b_total", "saqp_test_a_total"})
+	if a != b {
+		t.Fatalf("exposition depends on creation order:\n%s\nvs\n%s", a, b)
+	}
+
+	r := obs.NewRegistry()
+	r.Counter("saqp_test_a_total").Inc()
+	j1, err := r.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("SnapshotJSON not stable across calls")
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	c := obs.NewRegistry().Counter("saqp_test_mono_total")
+	c.Add(2)
+	c.Add(-5)         // ignored
+	c.Add(math.NaN()) // ignored
+	if v := c.Value(); v != 2 {
+		t.Fatalf("counter = %v, want 2", v)
+	}
+}

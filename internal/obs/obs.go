@@ -1,0 +1,425 @@
+// Package obs is the reproduction's deterministic observability layer:
+// a metrics registry (Prometheus text exposition + JSON snapshots), a
+// Chrome trace-event sink for query→job→task lifecycles and scheduler
+// decisions, and a prediction-drift recorder that accumulates
+// predicted-vs-simulated error per job category — the live equivalent of
+// the paper's Tables 3–5.
+//
+// The layer is deterministic by construction: every timestamp comes from
+// the cluster simulator's virtual clock (float64 seconds threaded
+// through each hook), never the wall clock, and every serialisation
+// orders keys, so a fixed workload and seed produce byte-identical
+// traces, metrics and drift snapshots across runs. The package is
+// dependency-free (standard library only) and sits at the bottom of the
+// import graph, so cluster, sched, and the facade all instrument through
+// it without cycles.
+//
+// A nil *Observer is valid everywhere: every hook is a method on the
+// pointer receiver that returns immediately, so uninstrumented hot paths
+// pay one nil check and allocate nothing.
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Observer bundles the three sinks behind the instrumentation seam the
+// simulator and scheduler call into. Any field may be nil to disable
+// that sink; a nil *Observer disables everything.
+type Observer struct {
+	Metrics *Registry
+	Trace   *TraceSink
+	Drift   *DriftRecorder
+
+	// run namespaces per-query trace processes so repeated query ids
+	// (the same workload replayed under several schedulers) get distinct
+	// tracks instead of overlapping spans.
+	run     string
+	nextPid int
+	qpids   map[string]int // query id (this run) → pid
+	jtids   map[string]int // job id (this run) → tid within its query's pid
+	jnext   map[int]int    // pid → next free job tid
+}
+
+// New builds an observer with a fresh metrics registry and drift
+// recorder; trace may be nil to disable tracing. A zero Observer struct
+// is also usable — per-query track state initialises lazily.
+func New(trace *TraceSink) *Observer {
+	return &Observer{
+		Metrics: NewRegistry(),
+		Trace:   trace,
+		Drift:   NewDriftRecorder(),
+	}
+}
+
+// Close flushes the trace sink, if any, and returns its first error.
+func (o *Observer) Close() error {
+	if o == nil || o.Trace == nil {
+		return nil
+	}
+	return o.Trace.Close()
+}
+
+// Metric names, following saqp_<subsystem>_<name>_<unit>.
+const (
+	MQueriesSubmitted    = "saqp_cluster_queries_submitted_total"
+	MQueriesCompleted    = "saqp_cluster_queries_completed_total"
+	MQueryResponseSec    = "saqp_cluster_query_response_seconds"
+	MJobsSubmitted       = "saqp_cluster_jobs_submitted_total"
+	MJobsCompleted       = "saqp_cluster_jobs_completed_total"
+	MJobRuntimeSec       = "saqp_cluster_job_runtime_seconds"
+	MMapTasksDone        = "saqp_cluster_map_tasks_completed_total"
+	MReduceTasksDone     = "saqp_cluster_reduce_tasks_completed_total"
+	MTaskRuntimeSec      = "saqp_cluster_task_runtime_seconds"
+	MReduceHoards        = "saqp_cluster_reduce_slowstart_hoards_total"
+	MReducePreemptions   = "saqp_cluster_reduce_preemptions_total"
+	MSpeculativeLaunches = "saqp_cluster_speculative_launches_total"
+	MSchedDecisions      = "saqp_sched_decisions_total"
+	MSchedIdleDecisions  = "saqp_sched_idle_decisions_total"
+	MCompiles            = "saqp_framework_compiles_total"
+	MEstimates           = "saqp_framework_estimates_total"
+	MTrainings           = "saqp_framework_trainings_total"
+	MSimulations         = "saqp_framework_simulations_total"
+)
+
+// runKey namespaces an id under the current run label.
+func (o *Observer) runKey(id string) string { return o.run + "\x00" + id }
+
+// RunStarted namespaces subsequent per-query trace tracks under label
+// (typically the scheduler name). The cluster simulator calls it from
+// SetObserver; metrics and drift keep accumulating across runs.
+func (o *Observer) RunStarted(label string) {
+	if o == nil {
+		return
+	}
+	o.run = label
+}
+
+// pidOf returns (allocating on first use) the trace process id of a
+// query, emitting its process_name metadata on allocation.
+func (o *Observer) pidOf(query string) int {
+	if o.qpids == nil {
+		o.qpids = map[string]int{}
+		o.jtids = map[string]int{}
+		o.jnext = map[int]int{}
+		o.nextPid = pidQueryBase
+	}
+	key := o.runKey(query)
+	if pid, ok := o.qpids[key]; ok {
+		return pid
+	}
+	pid := o.nextPid
+	o.nextPid++
+	o.qpids[key] = pid
+	o.jnext[pid] = 1 // tid 0 is the query lifecycle track
+	if o.Trace != nil {
+		name := "query " + query
+		if o.run != "" {
+			name = o.run + " " + name
+		}
+		o.Trace.MetaProcessName(pid, name)
+		o.Trace.MetaThreadName(pid, 0, "query")
+	}
+	return pid
+}
+
+// tidOf returns (allocating on first use) the thread id of a job inside
+// its query's process, emitting thread_name metadata on allocation.
+func (o *Observer) tidOf(query, job, jobType string) (pid, tid int) {
+	pid = o.pidOf(query)
+	key := o.runKey(job)
+	if tid, ok := o.jtids[key]; ok {
+		return pid, tid
+	}
+	tid = o.jnext[pid]
+	o.jnext[pid] = tid + 1
+	o.jtids[key] = tid
+	if o.Trace != nil {
+		o.Trace.MetaThreadName(pid, tid, job+" ("+jobType+")")
+	}
+	return pid, tid
+}
+
+// ClusterInfo names the shared slot and scheduler tracks. The simulator
+// calls it once per run when an observer is attached.
+func (o *Observer) ClusterInfo(nodes, mapSlotsPerNode, redSlotsPerNode int) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	o.Trace.MetaProcessName(PidMapSlots, "cluster: map slots")
+	o.Trace.MetaProcessName(PidReduceSlots, "cluster: reduce slots")
+	o.Trace.MetaProcessName(PidScheduler, "scheduler")
+	o.Trace.MetaThreadName(PidScheduler, 0, "map decisions")
+	o.Trace.MetaThreadName(PidScheduler, 1, "reduce decisions")
+	for n := 0; n < nodes; n++ {
+		for k := 0; k < mapSlotsPerNode; k++ {
+			slot := n*mapSlotsPerNode + k
+			o.Trace.MetaThreadName(PidMapSlots, slot, nodeSlotName(n, k))
+		}
+		for k := 0; k < redSlotsPerNode; k++ {
+			slot := n*redSlotsPerNode + k
+			o.Trace.MetaThreadName(PidReduceSlots, slot, nodeSlotName(n, k))
+		}
+	}
+}
+
+func nodeSlotName(node, k int) string {
+	return "node " + itoa(node) + " slot " + itoa(k)
+}
+
+// itoa is strconv.Itoa under a shorter name for the builders above.
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// QueryArrived records a query submission.
+func (o *Observer) QueryArrived(now float64, id string, jobs int, inputBytes float64) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MQueriesSubmitted).Inc()
+	}
+	if o.Trace != nil {
+		pid := o.pidOf(id)
+		o.Trace.Instant(pid, 0, now, "arrive", "query",
+			Arg{"jobs", jobs}, Arg{"input_bytes", inputBytes})
+	}
+}
+
+// QueryFinished records a query completion and emits its lifecycle span.
+func (o *Observer) QueryFinished(now, arrival float64, id string) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MQueriesCompleted).Inc()
+		o.Metrics.Histogram(MQueryResponseSec, nil).Observe(now - arrival)
+	}
+	if o.Trace != nil {
+		pid := o.pidOf(id)
+		o.Trace.Complete(pid, 0, arrival, now, "query "+id, "query",
+			Arg{"response_sec", now - arrival})
+	}
+}
+
+// JobSubmitted records a job entering the cluster (initialisation runs
+// until ready).
+func (o *Observer) JobSubmitted(now, ready float64, query, job, jobType string, maps, reds int) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MJobsSubmitted).Inc()
+	}
+	if o.Trace != nil {
+		pid, tid := o.tidOf(query, job, jobType)
+		o.Trace.Instant(pid, tid, now, "submit", "job",
+			Arg{"type", jobType}, Arg{"maps", maps}, Arg{"reduces", reds},
+			Arg{"init_until_sec", ready})
+	}
+}
+
+// JobFinished records a job completion and emits its span.
+func (o *Observer) JobFinished(now, submit float64, query, job, jobType string) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MJobsCompleted).Inc()
+		o.Metrics.Histogram(MJobRuntimeSec, nil).Observe(now - submit)
+	}
+	if o.Trace != nil {
+		pid, tid := o.tidOf(query, job, jobType)
+		o.Trace.Complete(pid, tid, submit, now, job+" ("+jobType+")", "job",
+			Arg{"runtime_sec", now - submit})
+	}
+}
+
+// TaskStarted records a dispatch. hoarding marks a reduce launched by
+// slowstart before its job's map phase completed — it occupies the slot
+// without progressing.
+func (o *Observer) TaskStarted(now float64, query, job, jobType string, reduce bool,
+	index, node, slot int, predSec float64, hoarding bool) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil && hoarding {
+		o.Metrics.Counter(MReduceHoards).Inc()
+	}
+	if o.Trace != nil && hoarding {
+		o.Trace.Instant(PidReduceSlots, slot, now, "slowstart hoard "+taskName(job, reduce, index),
+			"cluster", Arg{"job", job}, Arg{"node", node})
+	}
+}
+
+// TaskFinished records a task completion: the span on its slot track,
+// runtime metrics, and task-level prediction drift (predicted vs
+// observed slot occupancy).
+func (o *Observer) TaskFinished(now, start float64, query, job, jobType string, reduce bool,
+	index, node, slot int, predSec float64, speculated bool) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		if reduce {
+			o.Metrics.Counter(MReduceTasksDone).Inc()
+		} else {
+			o.Metrics.Counter(MMapTasksDone).Inc()
+		}
+		o.Metrics.Histogram(MTaskRuntimeSec, nil).Observe(now - start)
+	}
+	if o.Drift != nil {
+		o.Drift.RecordTask(jobType, reduce, predSec, now-start)
+	}
+	if o.Trace != nil {
+		pid := PidMapSlots
+		if reduce {
+			pid = PidReduceSlots
+		}
+		o.Trace.Complete(pid, slot, start, now, taskName(job, reduce, index), "cluster",
+			Arg{"query", query}, Arg{"type", jobType}, Arg{"node", node},
+			Arg{"pred_sec", predSec}, Arg{"speculated", speculated})
+	}
+}
+
+func taskName(job string, reduce bool, index int) string {
+	phase := " m"
+	if reduce {
+		phase = " r"
+	}
+	return job + phase + itoa(index)
+}
+
+// ShuffleReady records a job's map phase completing, releasing its
+// hoarding reduces.
+func (o *Observer) ShuffleReady(now float64, query, job, jobType string, released int) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	pid, tid := o.tidOf(query, job, jobType)
+	o.Trace.Instant(pid, tid, now, "maps done", "job", Arg{"released_reduces", released})
+}
+
+// ReducePreempted records a hoarding reduce being evicted for a
+// shuffle-ready job (paper reference [30]).
+func (o *Observer) ReducePreempted(now float64, query, job string, index, slot int, waitedSec float64) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MReducePreemptions).Inc()
+	}
+	if o.Trace != nil {
+		o.Trace.Instant(PidReduceSlots, slot, now, "preempt "+taskName(job, true, index),
+			"cluster", Arg{"query", query}, Arg{"hoarded_sec", waitedSec})
+	}
+}
+
+// SpeculativeLaunched records a duplicate attempt of a slow task.
+func (o *Observer) SpeculativeLaunched(now float64, query, job string, reduce bool,
+	index, origNode, slot int) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MSpeculativeLaunches).Inc()
+	}
+	if o.Trace != nil {
+		pid := PidMapSlots
+		if reduce {
+			pid = PidReduceSlots
+		}
+		o.Trace.Instant(pid, slot, now, "speculate "+taskName(job, reduce, index),
+			"cluster", Arg{"query", query}, Arg{"original_node", origNode})
+	}
+}
+
+// Candidate is one job in a scheduler decision's ranking.
+type Candidate struct {
+	Job     string
+	Query   string
+	WRD     float64 // the query's remaining Weighted Resource Demand (Eq. 10)
+	Running int     // the job's currently running tasks (fair-share signal)
+	Submit  float64 // the job's submission time (FIFO signal)
+}
+
+// maxTraceCandidates caps the candidate list recorded per decision.
+// Under heavy queueing the list is O(queued jobs) per PickJob call and
+// would dominate trace size; the head of the queue plus the winner still
+// answers "why was this picked", and the full depth is kept as a scalar.
+const maxTraceCandidates = 8
+
+// SchedulerDecision records one PickJob call: which job won the slot and
+// the candidates with the rankings the policy saw, so "why did the
+// scheduler pick this query" is answerable from the trace. The recorded
+// list is capped at maxTraceCandidates (the winner is always included);
+// queue_depth carries the uncapped count.
+func (o *Observer) SchedulerDecision(now float64, scheduler string, reduce bool,
+	picked string, cands []Candidate) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MSchedDecisions).Inc()
+		if picked == "" {
+			o.Metrics.Counter(MSchedIdleDecisions).Inc()
+		}
+	}
+	if o.Trace == nil {
+		return
+	}
+	tid := 0
+	phase := "map"
+	if reduce {
+		tid = 1
+		phase = "reduce"
+	}
+	name := scheduler + ": idle"
+	if picked != "" {
+		name = scheduler + ": " + picked
+	}
+	record := cands
+	if len(cands) > maxTraceCandidates {
+		record = cands[:maxTraceCandidates:maxTraceCandidates]
+		if picked != "" {
+			found := false
+			for _, c := range record {
+				if c.Job == picked {
+					found = true
+					break
+				}
+			}
+			if !found {
+				for _, c := range cands[maxTraceCandidates:] {
+					if c.Job == picked {
+						record = append(record, c)
+						break
+					}
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range record {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"job":`)
+		b.WriteString(strconv.Quote(c.Job))
+		b.WriteString(`,"query":`)
+		b.WriteString(strconv.Quote(c.Query))
+		b.WriteString(`,"wrd":`)
+		b.WriteString(jsonNum(c.WRD))
+		b.WriteString(`,"running":`)
+		b.WriteString(strconv.Itoa(c.Running))
+		b.WriteString(`,"submit_sec":`)
+		b.WriteString(jsonNum(c.Submit))
+		b.WriteByte('}')
+	}
+	b.WriteByte(']')
+	o.Trace.Instant(PidScheduler, tid, now, name, "sched",
+		Arg{"phase", phase}, Arg{"picked", picked},
+		Arg{"queue_depth", len(cands)},
+		Arg{"candidates", rawJSON(b.String())})
+}

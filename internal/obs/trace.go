@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TraceSink emits Chrome trace-event-format JSON — one event per line,
+// wrapped in a JSON array — loadable in Perfetto and chrome://tracing.
+// Timestamps are the simulator's virtual clock converted to integer
+// microseconds, never the wall clock, so identical runs produce
+// byte-identical traces.
+//
+// Track layout (pids are process groups in the trace UI):
+//
+//	pid 1  "cluster: map slots"     one thread per map slot; task spans
+//	pid 2  "cluster: reduce slots"  one thread per reduce slot; task spans
+//	pid 3  "scheduler"              instant events per PickJob decision
+//	pid ≥ 100                       one process per (run, query): the
+//	                                query span on thread 0 and one thread
+//	                                per job, so query→job→task lifecycles
+//	                                nest visually.
+type TraceSink struct {
+	w       io.Writer
+	started bool
+	err     error
+}
+
+// Fixed process ids of the shared tracks.
+const (
+	PidMapSlots    = 1
+	PidReduceSlots = 2
+	PidScheduler   = 3
+	// pidQueryBase is the first per-query process id.
+	pidQueryBase = 100
+)
+
+// NewTraceSink writes trace events to w. Call Close when the run ends to
+// terminate the JSON array (viewers tolerate an unterminated array, so a
+// crashed run still yields a loadable trace).
+func NewTraceSink(w io.Writer) *TraceSink { return &TraceSink{w: w} }
+
+// Err returns the first write error, if any.
+func (t *TraceSink) Err() error { return t.err }
+
+// Close terminates the JSON array.
+func (t *TraceSink) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if !t.started {
+		_, t.err = io.WriteString(t.w, "[\n]\n")
+		return t.err
+	}
+	_, t.err = io.WriteString(t.w, "\n]\n")
+	return t.err
+}
+
+// emit writes one pre-serialised event object.
+func (t *TraceSink) emit(line string) {
+	if t.err != nil {
+		return
+	}
+	prefix := ",\n"
+	if !t.started {
+		prefix = "[\n"
+		t.started = true
+	}
+	_, t.err = io.WriteString(t.w, prefix+line)
+}
+
+// micros converts simulated seconds to integer trace microseconds.
+func micros(sec float64) int64 { return int64(math.Round(sec * 1e6)) }
+
+// Arg is one key/value pair in an event's args object. Values may be
+// string, float64, int, int64 or bool; argument order is preserved in
+// the serialised JSON, keeping output deterministic.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// appendArgs serialises args as a JSON object into b.
+func appendArgs(b *strings.Builder, args []Arg) {
+	b.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(a.Key))
+		b.WriteByte(':')
+		switch v := a.Val.(type) {
+		case string:
+			b.WriteString(strconv.Quote(v))
+		case float64:
+			b.WriteString(jsonNum(v))
+		case int:
+			b.WriteString(strconv.Itoa(v))
+		case int64:
+			b.WriteString(strconv.FormatInt(v, 10))
+		case bool:
+			b.WriteString(strconv.FormatBool(v))
+		case rawJSON:
+			b.WriteString(string(v))
+		default:
+			b.WriteString(strconv.Quote(fmt.Sprint(v)))
+		}
+	}
+	b.WriteByte('}')
+}
+
+// rawJSON is pre-serialised JSON spliced into args verbatim.
+type rawJSON string
+
+// jsonNum formats a float as a JSON number (Inf/NaN are not valid JSON;
+// they are clamped to null, which trace viewers ignore).
+func jsonNum(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// header writes the common event prefix: name, phase, ts, pid, tid.
+func header(b *strings.Builder, name, ph string, ts int64, pid, tid int) {
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote(name))
+	b.WriteString(`,"ph":"`)
+	b.WriteString(ph)
+	b.WriteString(`","ts":`)
+	b.WriteString(strconv.FormatInt(ts, 10))
+	b.WriteString(`,"pid":`)
+	b.WriteString(strconv.Itoa(pid))
+	b.WriteString(`,"tid":`)
+	b.WriteString(strconv.Itoa(tid))
+}
+
+// MetaProcessName names a process group in the trace UI.
+func (t *TraceSink) MetaProcessName(pid int, name string) {
+	var b strings.Builder
+	header(&b, "process_name", "M", 0, pid, 0)
+	b.WriteString(`,"args":{"name":`)
+	b.WriteString(strconv.Quote(name))
+	b.WriteString("}}")
+	t.emit(b.String())
+}
+
+// MetaThreadName names a thread track in the trace UI.
+func (t *TraceSink) MetaThreadName(pid, tid int, name string) {
+	var b strings.Builder
+	header(&b, "thread_name", "M", 0, pid, tid)
+	b.WriteString(`,"args":{"name":`)
+	b.WriteString(strconv.Quote(name))
+	b.WriteString("}}")
+	t.emit(b.String())
+}
+
+// Complete emits an "X" span from startSec to endSec.
+func (t *TraceSink) Complete(pid, tid int, startSec, endSec float64, name, category string, args ...Arg) {
+	dur := micros(endSec) - micros(startSec)
+	if dur < 0 {
+		dur = 0
+	}
+	var b strings.Builder
+	header(&b, name, "X", micros(startSec), pid, tid)
+	b.WriteString(`,"cat":`)
+	b.WriteString(strconv.Quote(category))
+	b.WriteString(`,"dur":`)
+	b.WriteString(strconv.FormatInt(dur, 10))
+	if len(args) > 0 {
+		b.WriteString(`,"args":`)
+		appendArgs(&b, args)
+	}
+	b.WriteByte('}')
+	t.emit(b.String())
+}
+
+// Instant emits a thread-scoped "i" event.
+func (t *TraceSink) Instant(pid, tid int, nowSec float64, name, category string, args ...Arg) {
+	var b strings.Builder
+	header(&b, name, "i", micros(nowSec), pid, tid)
+	b.WriteString(`,"cat":`)
+	b.WriteString(strconv.Quote(category))
+	b.WriteString(`,"s":"t"`)
+	if len(args) > 0 {
+		b.WriteString(`,"args":`)
+		appendArgs(&b, args)
+	}
+	b.WriteByte('}')
+	t.emit(b.String())
+}

@@ -365,6 +365,24 @@ func (tm *TaskModel) TaskAccuracyByOperator(samples []TaskSample, reduce bool) [
 	return out
 }
 
+// PredictSample scores one training sample with the model its operator
+// dispatches to, applying the same non-negativity clamp as PredictJob —
+// exactly how JobAccuracyByOperator scores the sample.
+func (jm *JobModel) PredictSample(s JobSample) float64 {
+	return math.Max(0, jm.modelFor(s.Op).Predict(s.Features))
+}
+
+// PredictTaskSample scores one task sample with its (phase, operator)
+// model, floored at the JVM-startup minimum like PredictTask — exactly
+// how TaskAccuracyByOperator scores the sample.
+func (tm *TaskModel) PredictTaskSample(s TaskSample) float64 {
+	p := tm.taskModelFor(s.Op, s.Reduce).Predict(s.Features)
+	if p < 0.1 {
+		p = 0.1
+	}
+	return p
+}
+
 // predActual pairs a prediction with its observation.
 type predActual struct{ pred, actual float64 }
 

@@ -1,0 +1,161 @@
+package saqp_test
+
+// Facade-level observability tests: the drift recorder must reproduce the
+// accuracy tables, SimulateQuery must be deterministic and fully
+// instrumented, and the experiment drivers must feed the observer.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"saqp"
+)
+
+// TestCorpusDriftMatchesAccuracyTables: replaying the training corpus
+// through the drift recorder must reproduce the per-category mean
+// relative error and R² of Tables 3-5 (computed independently by the
+// predict package) to within floating-point noise.
+func TestCorpusDriftMatchesAccuracyTables(t *testing.T) {
+	a, _ := artifacts(t)
+	o := saqp.NewObserver(nil)
+	saqp.RecordCorpusDrift(a, o)
+	drift := o.Drift.Snapshot()
+
+	const tol = 1e-9
+	check := func(kind, category string, rows []saqp.DriftSummary, want saqp.GroupAccuracy) {
+		t.Helper()
+		for _, s := range rows {
+			if s.Category != category {
+				continue
+			}
+			if s.N != want.N {
+				t.Errorf("%s %s: n = %d, accuracy table has %d", kind, category, s.N, want.N)
+			}
+			if math.Abs(s.MeanRelError-want.AvgError) > tol {
+				t.Errorf("%s %s: mean rel err %v, accuracy table %v", kind, category, s.MeanRelError, want.AvgError)
+			}
+			// The recorder computes R² from running sums, the table from
+			// two passes; they agree to far better than table precision.
+			if math.Abs(s.RSquared-want.RSquared) > 1e-6 {
+				t.Errorf("%s %s: R² %v, accuracy table %v", kind, category, s.RSquared, want.RSquared)
+			}
+			return
+		}
+		t.Errorf("%s: no drift category %q", kind, category)
+	}
+
+	res := saqp.ReproduceTable3(a)
+	for _, row := range res.TrainRows {
+		if row.Op == "All" {
+			continue // the recorder keys by category only
+		}
+		check("job", row.Op, drift.Jobs, row)
+	}
+	for _, row := range saqp.ReproduceTable4(a) {
+		if row.Op == "Together" {
+			continue
+		}
+		check("map task", row.Op+"/map", drift.Tasks, row)
+	}
+	for _, row := range saqp.ReproduceTable5(a) {
+		if row.Op == "Together" {
+			continue
+		}
+		check("reduce task", row.Op+"/reduce", drift.Tasks, row)
+	}
+}
+
+// TestSimulateQueryDeterministicTrace: two instrumented SimulateQuery
+// runs with the same seed produce byte-identical traces and metrics.
+func TestSimulateQueryDeterministicTrace(t *testing.T) {
+	run := func() ([]byte, []byte, float64) {
+		var traceBuf bytes.Buffer
+		o := saqp.NewObserver(saqp.NewTraceSink(&traceBuf))
+		fw, err := saqp.NewFramework(saqp.Options{ScaleFactor: 2, Observer: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dag, err := fw.Compile(`SELECT c_name, count(*) FROM customer
+			JOIN orders ON o_custkey = c_custkey GROUP BY c_name`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := fw.Estimate(dag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs, err := fw.SimulateQuery("q1", est, saqp.SchedulerSWRD, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var promBuf bytes.Buffer
+		if err := o.Metrics.WritePrometheus(&promBuf); err != nil {
+			t.Fatal(err)
+		}
+		return traceBuf.Bytes(), promBuf.Bytes(), secs
+	}
+	t1, p1, s1 := run()
+	t2, p2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("response time differs across seeded runs: %v vs %v", s1, s2)
+	}
+	if s1 <= 0 {
+		t.Fatalf("response time = %v, want positive", s1)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace differs across seeded runs")
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Error("metrics differ across seeded runs")
+	}
+	if len(t1) == 0 || !bytes.Contains(t1, []byte(`"cat":"query"`)) {
+		t.Error("trace missing query lifecycle events")
+	}
+	if !bytes.Contains(p1, []byte("saqp_framework_compiles_total 1")) {
+		t.Errorf("framework counters missing from exposition:\n%s", p1)
+	}
+	if !bytes.Contains(p1, []byte("saqp_framework_simulations_total 1")) {
+		t.Error("simulation counter missing from exposition")
+	}
+}
+
+// TestFig2Observed: the motivation experiment must feed the observer —
+// scheduler decisions, cluster lifecycle metrics, selectivity estimate
+// drift and (given trained models) job-time drift.
+func TestFig2Observed(t *testing.T) {
+	a, cfg := artifacts(t)
+	var traceBuf bytes.Buffer
+	o := saqp.NewObserver(saqp.NewTraceSink(&traceBuf))
+	cfg.Observer = o
+	if _, err := saqp.ReproduceFig2(saqp.SchedulerSWRD, a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics.Counter("saqp_cluster_queries_completed_total").Value(); got != 3 {
+		t.Errorf("concurrent run should complete 3 queries, metrics say %v (alone runs must stay uninstrumented)", got)
+	}
+	if o.Metrics.Counter("saqp_sched_decisions_total").Value() == 0 {
+		t.Error("no scheduler decisions recorded")
+	}
+	drift := o.Drift.Snapshot()
+	if len(drift.Estimates) == 0 {
+		t.Error("no selectivity estimate drift recorded")
+	}
+	if len(drift.Jobs) == 0 {
+		t.Error("no job-time drift recorded")
+	}
+	for _, s := range drift.Estimates {
+		if s.N == 0 {
+			t.Errorf("estimate drift category %s empty", s.Category)
+		}
+	}
+	if !bytes.Contains(traceBuf.Bytes(), []byte("SWRD")) {
+		t.Error("trace missing scheduler decision events")
+	}
+}

@@ -31,11 +31,13 @@ package saqp
 
 import (
 	"fmt"
+	"io"
 
 	"saqp/internal/catalog"
 	"saqp/internal/cluster"
 	"saqp/internal/dataset"
 	"saqp/internal/mapreduce"
+	"saqp/internal/obs"
 	"saqp/internal/plan"
 	"saqp/internal/predict"
 	"saqp/internal/query"
@@ -76,7 +78,30 @@ type (
 	Schema = dataset.Schema
 	// GroupAccuracy is one row of the paper's accuracy tables.
 	GroupAccuracy = predict.GroupAccuracy
+	// Observer is the deterministic observability hub: metrics registry,
+	// sim-time trace sink and prediction-drift recorder.
+	Observer = obs.Observer
+	// TraceSink writes Chrome trace-event JSON (loadable in Perfetto).
+	TraceSink = obs.TraceSink
+	// MetricsRegistry collects counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// RegistrySnapshot is a point-in-time metrics dump.
+	RegistrySnapshot = obs.RegistrySnapshot
+	// DriftRecorder accumulates predicted-vs-observed error per category.
+	DriftRecorder = obs.DriftRecorder
+	// DriftSnapshot is the recorder's rolled-up accuracy state.
+	DriftSnapshot = obs.DriftSnapshot
+	// DriftSummary is one category's accuracy roll-up.
+	DriftSummary = obs.DriftSummary
 )
+
+// NewObserver builds an observer with a fresh metrics registry and drift
+// recorder; trace may be nil to disable tracing.
+func NewObserver(trace *TraceSink) *Observer { return obs.New(trace) }
+
+// NewTraceSink wraps w in a Chrome trace-event sink. Call Close to
+// terminate the JSON array once the run finishes.
+func NewTraceSink(w io.Writer) *TraceSink { return obs.NewTraceSink(w) }
 
 // Scheduler name constants for experiment entry points.
 const (
@@ -94,6 +119,10 @@ type Options struct {
 	HistogramBuckets int
 	// Sizing overrides MapReduce task sizing (block size, bytes/reducer).
 	Sizing selectivity.Config
+	// Observer receives framework metrics and, through SimulateQuery,
+	// cluster traces and prediction drift. Nil disables observability at
+	// zero cost.
+	Observer *Observer
 }
 
 // Framework bundles the paper's three techniques behind one object:
@@ -108,7 +137,18 @@ type Framework struct {
 	JobTime  *predict.JobModel
 	TaskTime *predict.TaskModel
 
+	// Obs, when non-nil, counts facade operations and instruments
+	// SimulateQuery runs. Set from Options.Observer.
+	Obs *Observer
+
 	opts Options
+}
+
+// count bumps a framework counter when an observer is attached.
+func (f *Framework) count(name string) {
+	if f.Obs != nil && f.Obs.Metrics != nil {
+		f.Obs.Metrics.Counter(name).Inc()
+	}
 }
 
 // NewFramework builds a framework over analytically-derived statistics for
@@ -130,6 +170,7 @@ func NewFramework(opts Options) (*Framework, error) {
 		Schemas:   schemas,
 		Catalog:   cat,
 		Estimator: selectivity.NewEstimator(cat, opts.Sizing),
+		Obs:       opts.Observer,
 		opts:      opts,
 	}, nil
 }
@@ -141,6 +182,7 @@ func NewFrameworkFromCatalog(cat *catalog.Catalog, opts Options) *Framework {
 		Schemas:   dataset.AllSchemas(),
 		Catalog:   cat,
 		Estimator: selectivity.NewEstimator(cat, opts.Sizing),
+		Obs:       opts.Observer,
 		opts:      opts,
 	}
 }
@@ -150,6 +192,7 @@ func NewFrameworkFromCatalog(cat *catalog.Catalog, opts Options) *Framework {
 // operators, predicates, join keys, projected columns — which is the
 // "cross-layer semantics percolation" of paper Section 2.2.
 func (f *Framework) Compile(sql string) (*DAG, error) {
+	f.count(obs.MCompiles)
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -164,11 +207,13 @@ func (f *Framework) Compile(sql string) (*DAG, error) {
 // (paper Section 3): per-job IS/FS, D_in/D_med/D_out, task counts, and the
 // join balance ratio P.
 func (f *Framework) Estimate(d *DAG) (*QueryEstimate, error) {
+	f.count(obs.MEstimates)
 	return f.Estimator.EstimateQuery(d)
 }
 
 // Train fits the Eq. 8 job model and Eq. 9 task models from a corpus.
 func (f *Framework) Train(c *Corpus) error {
+	f.count(obs.MTrainings)
 	jm, err := predict.FitJobModel(c.JobSamples)
 	if err != nil {
 		return fmt.Errorf("saqp: training job model: %w", err)
@@ -243,6 +288,39 @@ func (f *Framework) WRD(qe *QueryEstimate) (float64, error) {
 		return 0, errNotTrained
 	}
 	return f.TaskTime.WRD(qe), nil
+}
+
+// SimulateQuery runs an estimated query alone on the default simulated
+// cluster under the named scheduler and returns its response time in
+// seconds. When an observer is attached (Options.Observer), the run is
+// fully instrumented: query→job→task lifecycle trace spans, cluster
+// metrics, scheduler decisions, and — if the models are trained — Eq. 8
+// per-job prediction drift. Task durations are drawn from the hidden
+// ground-truth cost model seeded by seed; per-task predictions come from
+// the trained Eq. 9 task model, or a constant baseline before training.
+func (f *Framework) SimulateQuery(id string, qe *QueryEstimate, scheduler string, seed uint64) (float64, error) {
+	pol, err := schedulerByName(scheduler)
+	if err != nil {
+		return 0, err
+	}
+	f.count(obs.MSimulations)
+	var pred cluster.TaskTimePredictor = cluster.ConstantPredictor(1)
+	if f.TaskTime != nil {
+		pred = f.TaskTime
+	}
+	q := cluster.BuildQuery(id, qe, defaultCostModel(seed), pred)
+	sim := cluster.New(cluster.DefaultConfig(), sched.Instrument(pol, f.Obs)).SetObserver(f.Obs)
+	sim.Submit(q, 0)
+	if _, err := sim.Run(); err != nil {
+		return 0, err
+	}
+	if f.Obs != nil && f.JobTime != nil {
+		for ji, je := range qe.Jobs {
+			sj := q.Jobs[ji]
+			f.Obs.Drift.RecordJob(je.Job.Type.String(), f.JobTime.PredictJob(je), sj.DoneTime-sj.SubmitTime)
+		}
+	}
+	return q.ResponseTime(), nil
 }
 
 // TPCHQuery returns one of the canonical TPC-H-derived queries ("q1",
