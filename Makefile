@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint fuzz-smoke bench ci clean
+.PHONY: all build test race lint fuzz-smoke stress cover-serve bench bench-serve ci clean
 
 all: build
 
@@ -33,6 +33,32 @@ fuzz-smoke:
 	$(GO) test -run TestRandomQueriesEstimatorVsEngine -count=1 ./internal/mapreduce
 	$(GO) test -fuzz FuzzEngineQuery -fuzztime 10s -run '^$$' ./internal/mapreduce
 
+# Concurrency stress: the serving-layer stress/property suite under the
+# race detector, run twice to vary goroutine interleavings.
+stress:
+	$(GO) test -race -count=2 -run 'TestServer|TestProperty|TestSingleFlight|TestDeterministicSnapshots' \
+		. ./internal/serve ./internal/selectivity
+
+# Coverage gate for the serving engine: fail if internal/serve drops
+# below 85% statement coverage.
+SERVE_COVER_FLOOR := 85.0
+cover-serve:
+	@mkdir -p $(BIN)
+	@$(GO) test -coverprofile=$(BIN)/serve.cover ./internal/serve > /dev/null
+	@pct=$$($(GO) tool cover -func=$(BIN)/serve.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/serve statement coverage: $$pct% (floor $(SERVE_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(SERVE_COVER_FLOOR)" 'BEGIN { exit (p+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage below floor"; exit 1; }
+
+# Open-loop serving benchmark: 1000 TPC-H submissions from 16 concurrent
+# submitters through one saqp.Server; fails on any lost completion or a
+# cache hit-rate at or below 50%. Writes bench-out/BENCH_serve.json.
+SERVE_QUERIES ?= 1000
+bench-serve:
+	@mkdir -p bench-out
+	$(GO) run -race ./cmd/benchrunner -serve -serve-queries $(SERVE_QUERIES) \
+		-concurrency 16 -bench-out bench-out
+
 # Regenerate the paper's tables and figures with full observability:
 # machine-readable BENCH_<exp>.json per experiment, a Perfetto-loadable
 # trace of the simulated runs (gzipped; Perfetto opens .json.gz
@@ -46,7 +72,7 @@ bench:
 	gzip -f -9 bench-out/runs.trace.json
 
 # Everything CI runs, in the same order.
-ci: build lint test race fuzz-smoke
+ci: build lint test race fuzz-smoke stress cover-serve
 
 clean:
 	rm -rf $(BIN) bench-out

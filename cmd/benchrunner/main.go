@@ -34,6 +34,15 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs (fig2/fig8) to this file")
 		promOut  = flag.String("metrics", "", "write Prometheus text-format metrics to this file")
 		benchDir = flag.String("bench-out", "", "write machine-readable BENCH_<exp>.json results into this directory")
+
+		serveMode    = flag.Bool("serve", false, "run the concurrent serving benchmark instead of the paper experiments")
+		concurrency  = flag.Int("concurrency", 16, "serve: submitter goroutines")
+		qps          = flag.Float64("qps", 0, "serve: open-loop arrival rate in queries/sec (0 = closed-loop)")
+		serveQueries = flag.Int("serve-queries", 1000, "serve: total submissions")
+		serveWorkers = flag.Int("serve-workers", 4, "serve: simulator pool size")
+		serveCache   = flag.Int("serve-cache", 256, "serve: plan/estimate cache entries")
+		serveSched   = flag.String("serve-sched", "SWRD", "serve: pool scheduler (HCS|HFS|SWRD)")
+		serveTimeout = flag.Duration("serve-timeout", 0, "serve: per-query wall-clock timeout (0 = none)")
 	)
 	flag.Parse()
 	for _, dir := range []string{*csvDir, *benchDir} {
@@ -44,6 +53,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
+	}
+	if *serveMode {
+		sc := serveConfig{
+			Queries:     *serveQueries,
+			Concurrency: *concurrency,
+			QPS:         *qps,
+			Workers:     *serveWorkers,
+			CacheSize:   *serveCache,
+			Scheduler:   *serveSched,
+			Seed:        *seed,
+			Timeout:     *serveTimeout,
+		}
+		if err := serveBench(sc, *benchDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*exp, *queries, *gap, *seed, *csvDir, *traceOut, *promOut, *benchDir); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)

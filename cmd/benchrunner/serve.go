@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"saqp"
+)
+
+// serveConfig parameterizes the open-loop serving benchmark.
+type serveConfig struct {
+	Queries     int     // total submissions
+	Concurrency int     // submitter goroutines
+	QPS         float64 // arrival rate; 0 = closed-loop (as fast as possible)
+	Workers     int     // simulator pool size
+	CacheSize   int     // plan/estimate cache entries
+	Scheduler   string  // pool scheduler name
+	Seed        uint64
+	Timeout     time.Duration // per-query wall-clock timeout; 0 = none
+}
+
+// serveReport is BENCH_serve.json: wall-clock serving performance plus
+// the engine's own counters and the deterministic metrics snapshot.
+type serveReport struct {
+	Experiment  string  `json:"experiment"`
+	Queries     int     `json:"queries"`
+	Concurrency int     `json:"concurrency"`
+	QPS         float64 `json:"target_qps"`
+	Workers     int     `json:"pool_workers"`
+	CacheSize   int     `json:"cache_size"`
+	Scheduler   string  `json:"scheduler"`
+	Seed        uint64  `json:"seed"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputQPS float64 `json:"achieved_qps"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+
+	Submitted    uint64  `json:"submitted"`
+	Completed    uint64  `json:"completed"`
+	Canceled     uint64  `json:"canceled"`
+	Rejected     uint64  `json:"rejected"`
+	Errors       uint64  `json:"errors"`
+	Lost         int64   `json:"lost_completions"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	Metrics saqp.RegistrySnapshot `json:"metrics"`
+}
+
+// serveBench replays the TPC-H query mix through one saqp.Server as an
+// open-loop arrival process: a pacer releases arrivals at the target
+// rate (or immediately when QPS is 0) to a fixed set of submitter
+// goroutines, each of which submits and waits for its completion. Wall
+// clock is measured only here — the engine itself is clock-free.
+func serveBench(sc serveConfig, benchDir string) error {
+	fmt.Printf("Building framework and training models for serving...\n")
+	fw, err := saqp.NewFramework(saqp.Options{Observer: saqp.NewObserver(nil)})
+	if err != nil {
+		return err
+	}
+	if err := fw.TrainDefault(); err != nil {
+		return err
+	}
+	srv, err := fw.NewServer(saqp.ServerOptions{
+		Workers:      sc.Workers,
+		CacheSize:    sc.CacheSize,
+		Scheduler:    sc.Scheduler,
+		QueryTimeout: sc.Timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	names := saqp.TPCHNames()
+	mix := make([]string, len(names))
+	for i, n := range names {
+		sql, err := saqp.TPCHSQL(n)
+		if err != nil {
+			return err
+		}
+		mix[i] = sql
+	}
+
+	fmt.Printf("Serving %d queries (%d submitters, %d pool workers, %s, qps=%g)...\n",
+		sc.Queries, sc.Concurrency, sc.Workers, sc.Scheduler, sc.QPS)
+
+	// Pacer: an open-loop arrival process. Arrival indices are released
+	// on a fixed schedule regardless of how fast completions come back;
+	// with QPS=0 the channel is drained as fast as submitters can go.
+	arrivals := make(chan int, sc.Queries)
+	go func() {
+		defer close(arrivals)
+		if sc.QPS <= 0 {
+			for i := 0; i < sc.Queries; i++ {
+				arrivals <- i
+			}
+			return
+		}
+		interval := time.Duration(float64(time.Second) / sc.QPS)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for i := 0; i < sc.Queries; i++ {
+			arrivals <- i
+			<-tick.C
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		done      int64
+	)
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range arrivals {
+				// Seeds cycle with the mix so repeated queries share both
+				// SQL and ground-truth cost: cache hits are real hits.
+				sql := mix[i%len(mix)]
+				seed := sc.Seed + uint64(i%len(mix))
+				t0 := time.Now()
+				tk, err := srv.Submit(context.Background(), sql, seed)
+				if err != nil {
+					continue // counted by the engine as error/rejection
+				}
+				if _, err := tk.Wait(context.Background()); err != nil {
+					continue // counted by the engine as canceled/error
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				done++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	wall := time.Since(begin).Seconds()
+
+	st := srv.Stats()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p*float64(len(latencies)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	// Every submission must be accounted for exactly once: nothing in
+	// this benchmark cancels or errors, so every admitted submission
+	// must complete AND be observed by exactly one successful Wait.
+	lost := int64(st.Submitted) - done
+
+	r := serveReport{
+		Experiment:  "serve",
+		Queries:     sc.Queries,
+		Concurrency: sc.Concurrency,
+		QPS:         sc.QPS,
+		Workers:     sc.Workers,
+		CacheSize:   sc.CacheSize,
+		Scheduler:   sc.Scheduler,
+		Seed:        sc.Seed,
+
+		WallSeconds:   wall,
+		ThroughputQPS: float64(done) / wall,
+		LatencyP50Ms:  pct(0.50),
+		LatencyP95Ms:  pct(0.95),
+		LatencyP99Ms:  pct(0.99),
+		LatencyMaxMs:  pct(1.0),
+
+		Submitted:    st.Submitted,
+		Completed:    st.Completed,
+		Canceled:     st.Canceled,
+		Rejected:     st.Rejected,
+		Errors:       st.Errors,
+		Lost:         lost,
+		CacheHitRate: st.HitRate(),
+
+		Metrics: fw.Obs.Metrics.Snapshot(),
+	}
+
+	fmt.Printf("served %d/%d queries in %.2fs (%.1f q/s)\n", st.Completed, sc.Queries, wall, r.ThroughputQPS)
+	fmt.Printf("latency p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+		r.LatencyP50Ms, r.LatencyP95Ms, r.LatencyP99Ms, r.LatencyMaxMs)
+	fmt.Printf("cache hit-rate %.1f%% (%d hits / %d misses, %d evictions)\n",
+		100*r.CacheHitRate, st.CacheHits, st.CacheMisses, st.CacheEvictions)
+
+	if benchDir != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(benchDir, "BENCH_serve.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	// Fail loudly so CI catches regressions: no completion may be lost,
+	// and repeated queries must actually hit the cache.
+	if lost != 0 {
+		return fmt.Errorf("serve: lost completions: %d", lost)
+	}
+	if st.Submitted != st.Completed || st.Errors != 0 || st.Canceled != 0 {
+		return fmt.Errorf("serve: accounting mismatch: submitted=%d completed=%d canceled=%d errors=%d",
+			st.Submitted, st.Completed, st.Canceled, st.Errors)
+	}
+	if sc.Queries >= 50 && r.CacheHitRate <= 0.5 {
+		return fmt.Errorf("serve: cache hit-rate %.2f below 0.5 floor", r.CacheHitRate)
+	}
+	return nil
+}

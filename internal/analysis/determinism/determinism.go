@@ -50,6 +50,11 @@ var Analyzer = &analysis.Analyzer{
 		// and drift snapshots for a fixed seed; a wall-clock timestamp or
 		// map-ordered serialisation would break that silently.
 		"saqp/internal/obs",
+		// The serving engine promises that identical seeds submitted in
+		// serialized order reproduce byte-identical metrics and drift
+		// snapshots; wall-clock timeouts live in the root facade, outside
+		// this scope, precisely so the engine itself stays clock-free.
+		"saqp/internal/serve",
 	},
 	Run: run,
 }

@@ -26,6 +26,7 @@ func TestScope(t *testing.T) {
 		"saqp/internal/mapreduce",
 		"saqp/internal/workload",
 		"saqp/internal/obs",
+		"saqp/internal/serve",
 	} {
 		if !determinism.Analyzer.AppliesTo(pkg) {
 			t.Errorf("determinism should apply to %s", pkg)

@@ -13,9 +13,13 @@
 package catalog
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"sort"
+	"strconv"
 
 	"saqp/internal/dataset"
 	"saqp/internal/histogram"
@@ -83,6 +87,54 @@ func (c *Catalog) Table(name string) (*TableStats, error) {
 
 // Put installs (or replaces) statistics for a table.
 func (c *Catalog) Put(t *TableStats) { c.Tables[t.Name] = t }
+
+// Fingerprint returns a short stable hash of the catalog's statistical
+// identity: table names, row/byte counts, tuple widths and per-column
+// (distinct, domain) summaries. Two catalogs with equal fingerprints
+// yield the same estimates for the same plan, so the serving layer folds
+// the fingerprint into its plan/estimate cache keys — a server rebuilt
+// over fresh statistics can never serve stale cached estimates. Tables
+// and columns hash in sorted-name order, so the value is deterministic
+// across runs.
+func (c *Catalog) Fingerprint() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	num := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	names := make([]string, 0, len(c.Tables))
+	for name := range c.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := c.Tables[name]
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		num(uint64(t.Rows))
+		num(uint64(t.Bytes))
+		num(math.Float64bits(t.AvgTupleWidth))
+		cols := make([]string, 0, len(t.Columns))
+		for cn := range t.Columns {
+			cols = append(cols, cn)
+		}
+		sort.Strings(cols)
+		for _, cn := range cols {
+			cs := t.Columns[cn]
+			h.Write([]byte(cn))
+			h.Write([]byte{0})
+			num(uint64(cs.Distinct))
+			num(math.Float64bits(cs.Min))
+			num(math.Float64bits(cs.Max))
+			num(math.Float64bits(cs.TopShare))
+			if cs.Hist != nil {
+				num(uint64(len(cs.Hist.Buckets)))
+			}
+		}
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
 
 // Collect scans a materialised relation and produces exact statistics with
 // histograms of the given bucket count (DefaultBuckets if n <= 0).

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -276,7 +277,24 @@ func (r *Results) PercentileResponse(p float64) float64 {
 
 // Run processes events until all submitted queries complete.
 func (s *Sim) Run() (*Results, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the event loop checks
+// ctx between events and aborts with ctx.Err() once it is done. A run
+// that is never canceled is indistinguishable from Run — cancellation is
+// the only nondeterminism the context introduces, which keeps seeded
+// serving-pool runs reproducible.
+func (s *Sim) RunContext(ctx context.Context) (*Results, error) {
+	done := ctx.Done()
 	for !s.events.empty() {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		e := s.events.pop()
 		s.now = e.time
 		switch e.kind {

@@ -1,0 +1,101 @@
+package obs
+
+// Serving-layer instrumentation: the concurrent query-serving engine
+// (internal/serve) reports its admission pipeline here — submissions,
+// plan/estimate cache hits and misses, SWRD admission queue depth,
+// in-flight pool occupancy, and per-query simulated response times.
+//
+// Serve metrics are deliberately metrics-only (no trace events): the
+// engine has no global virtual clock — each admitted query runs on its
+// own pool simulator — so there is no meaningful shared timeline to
+// place spans on. Every value recorded here is either a count or a
+// simulated duration, both deterministic for a fixed seed set, which
+// preserves the layer's byte-identical-snapshot guarantee under
+// serialized submission order.
+
+// Serve metric names.
+const (
+	MServeSubmissions    = "saqp_serve_submissions_total"
+	MServeCompletions    = "saqp_serve_completions_total"
+	MServeCancellations  = "saqp_serve_cancellations_total"
+	MServeRejections     = "saqp_serve_rejections_total"
+	MServeErrors         = "saqp_serve_errors_total"
+	MServeCacheHits      = "saqp_serve_cache_hits_total"
+	MServeCacheMisses    = "saqp_serve_cache_misses_total"
+	MServeCacheEvictions = "saqp_serve_cache_evictions_total"
+	MServeQueueDepth     = "saqp_serve_queue_depth"
+	MServeInflight       = "saqp_serve_inflight_queries"
+	MServeSimResponseSec = "saqp_serve_sim_response_seconds"
+	MServeAdmittedWRD    = "saqp_serve_admitted_wrd_seconds"
+)
+
+// counter bumps a named counter when metrics are attached.
+func (o *Observer) counter(name string) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(name).Inc()
+}
+
+// ServeSubmitted counts one submission entering the serving engine.
+func (o *Observer) ServeSubmitted() { o.counter(MServeSubmissions) }
+
+// ServeCacheLookup records a plan/estimate cache outcome. A waiter that
+// joined an in-flight computation counts as a hit: it paid no compile.
+func (o *Observer) ServeCacheLookup(hit bool) {
+	if hit {
+		o.counter(MServeCacheHits)
+	} else {
+		o.counter(MServeCacheMisses)
+	}
+}
+
+// ServeCacheEvicted counts one LRU eviction from the plan cache.
+func (o *Observer) ServeCacheEvicted() { o.counter(MServeCacheEvictions) }
+
+// ServeAdmitted records a query entering the SWRD admission queue with
+// its Weighted Resource Demand and the resulting queue depth.
+func (o *Observer) ServeAdmitted(wrd float64, queueDepth int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Histogram(MServeAdmittedWRD, nil).Observe(wrd)
+	o.Metrics.Gauge(MServeQueueDepth).Set(float64(queueDepth))
+}
+
+// ServeDequeued records a pool worker taking a query off the admission
+// queue.
+func (o *Observer) ServeDequeued(queueDepth, inflight int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge(MServeQueueDepth).Set(float64(queueDepth))
+	o.Metrics.Gauge(MServeInflight).Set(float64(inflight))
+}
+
+// ServeCompleted records a successfully served query: its simulated
+// response time and the remaining in-flight count.
+func (o *Observer) ServeCompleted(simResponseSec float64, inflight int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MServeCompletions).Inc()
+	o.Metrics.Histogram(MServeSimResponseSec, nil).Observe(simResponseSec)
+	o.Metrics.Gauge(MServeInflight).Set(float64(inflight))
+}
+
+// ServeCanceled counts a query abandoned by context cancellation —
+// either while queued or mid-run on a pool simulator.
+func (o *Observer) ServeCanceled(inflight int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MServeCancellations).Inc()
+	o.Metrics.Gauge(MServeInflight).Set(float64(inflight))
+}
+
+// ServeRejected counts a submission refused by a full admission queue.
+func (o *Observer) ServeRejected() { o.counter(MServeRejections) }
+
+// ServeError counts a submission that failed compile or estimation.
+func (o *Observer) ServeError() { o.counter(MServeErrors) }

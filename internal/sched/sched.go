@@ -19,10 +19,34 @@
 package sched
 
 import (
+	"fmt"
 	"hash/fnv"
+	"strings"
 
 	"saqp/internal/cluster"
 )
+
+// Names returns every registered policy name, in the order the paper's
+// evaluation presents them. ByName accepts exactly this set.
+func Names() []string { return []string{"HCS", "HFS", "SWRD"} }
+
+// ByName returns the registered policy for name. HCS resolves to the
+// stock single-queue capacity configuration the paper's motivation
+// experiment exhibits (multi-queue HCS remains available as
+// HCS{Queues: n} for ablations). Unknown names produce an error that
+// enumerates the valid policies.
+func ByName(name string) (cluster.Scheduler, error) {
+	switch name {
+	case "HCS":
+		return HCS{}, nil
+	case "HFS":
+		return HFS{}, nil
+	case "SWRD":
+		return SWRD{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown scheduler %q (valid schedulers: %s)",
+		name, strings.Join(Names(), ", "))
+}
 
 // HCS is the capacity scheduler: per-queue FIFO with elastic shares.
 // Queues <= 1 degenerates to a single FIFO queue.

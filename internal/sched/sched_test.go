@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"strings"
 	"testing"
 
 	"saqp/internal/cluster"
@@ -132,6 +133,38 @@ func TestSWRDServesOldestJobWithinQuery(t *testing.T) {
 func TestSchedulerNames(t *testing.T) {
 	if (sched.HCS{}).Name() != "HCS" || (sched.HFS{}).Name() != "HFS" || (sched.SWRD{}).Name() != "SWRD" {
 		t.Fatal("scheduler names wrong")
+	}
+}
+
+// TestByName covers the registry: every advertised name resolves to a
+// policy that reports that same name, and an unknown name's error
+// enumerates all the valid ones.
+func TestByName(t *testing.T) {
+	names := sched.Names()
+	if len(names) == 0 {
+		t.Fatal("Names() is empty")
+	}
+	for _, name := range names {
+		pol, err := sched.ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if got := pol.Name(); got != name {
+			t.Errorf("ByName(%q) resolved to policy named %q", name, got)
+		}
+	}
+	_, err := sched.ByName("bogus")
+	if err == nil {
+		t.Fatal("ByName should reject an unknown scheduler")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q should list valid scheduler %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Errorf("error %q should quote the offending name", err)
 	}
 }
 

@@ -473,6 +473,20 @@ func hottestKeyShare(cs *ColStat) float64 {
 	return best
 }
 
+// floorMedToOut enforces the physical invariant D_med ≥ D_out (and with
+// it FS ≤ IS) for single-input Extract/Groupby jobs: the reduce phase
+// cannot emit more bytes than the map phase shuffled to it. A predicate
+// of near-zero selectivity combined with the ≥1-row output floor can
+// otherwise leave FS marginally above IS.
+func floorMedToOut(je *JobEstimate) {
+	if je.OutBytes > je.MedBytes {
+		je.MedBytes = je.OutBytes
+		if je.InBytes > 0 {
+			je.IS = clamp01(je.MedBytes / je.InBytes)
+		}
+	}
+}
+
 // estimateExtract covers scans, sorts and limits: IS = S_pred × S_proj
 // (paper Section 3.1.1); |Out| = min(|In|, k) for LIMIT k, |In| for sorts.
 func (e *Estimator) estimateExtract(job *plan.Job, je *JobEstimate, ins []input) error {
@@ -490,6 +504,7 @@ func (e *Estimator) estimateExtract(job *plan.Job, je *JobEstimate, ins []input)
 	if je.InBytes > 0 {
 		je.FS = je.OutBytes / je.InBytes
 	}
+	floorMedToOut(je)
 	out := in.edge
 	if outRows < in.edge.Rows && in.edge.Rows > 0 {
 		out = in.edge.scaledEdge(outRows / in.edge.Rows)
@@ -578,6 +593,7 @@ func (e *Estimator) estimateGroupby(job *plan.Job, je *JobEstimate, ins []input)
 	if je.InBytes > 0 {
 		je.FS = je.OutBytes / je.InBytes
 	}
+	floorMedToOut(je)
 
 	// Output edge: group keys keep their identity (distinct values now
 	// unique); aggregates appear as fresh numeric columns.

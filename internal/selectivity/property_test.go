@@ -1,0 +1,161 @@
+package selectivity
+
+import (
+	"fmt"
+	"testing"
+
+	"saqp/internal/catalog"
+	"saqp/internal/dataset"
+	"saqp/internal/plan"
+	"saqp/internal/query"
+	"saqp/internal/sim"
+)
+
+// Property-based checks of the estimator's Eq. 1–6 invariants over
+// randomized statistics and predicates: selectivities are probabilities,
+// Extract/Groupby jobs never emit more than they shuffle (FS ≤ IS), and
+// widening a predicate's range never lowers its estimated selectivity.
+// Randomness comes from the repository's seeded sim.RNG, so a failure
+// reproduces exactly.
+
+const propEps = 1e-9
+
+// propEnv is one randomized estimation environment: a catalog built at a
+// random scale factor with a random histogram resolution.
+type propEnv struct {
+	cat *catalog.Catalog
+	est *Estimator
+	sf  float64
+}
+
+func newPropEnv(rng *sim.RNG) *propEnv {
+	var list []*dataset.Schema
+	for _, s := range dataset.AllSchemas() {
+		list = append(list, s)
+	}
+	sf := rng.Range(0.05, 4)
+	buckets := 4 + rng.Intn(120)
+	cat := catalog.FromSchemas(list, sf, buckets)
+	return &propEnv{cat: cat, est: NewEstimator(cat, Config{}), sf: sf}
+}
+
+func (p *propEnv) estimate(t *testing.T, src string) *QueryEstimate {
+	t.Helper()
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatalf("sf=%g parse %q: %v", p.sf, src, err)
+	}
+	if err := query.Resolve(q, dataset.AllSchemas()); err != nil {
+		t.Fatalf("sf=%g resolve %q: %v", p.sf, src, err)
+	}
+	d, err := plan.Compile(q)
+	if err != nil {
+		t.Fatalf("sf=%g compile %q: %v", p.sf, src, err)
+	}
+	qe, err := p.est.EstimateQuery(d)
+	if err != nil {
+		t.Fatalf("sf=%g estimate %q: %v", p.sf, src, err)
+	}
+	return qe
+}
+
+// randRange draws BETWEEN bounds for a column, deliberately overshooting
+// the domain on either side so clamping paths are exercised too.
+func randRange(rng *sim.RNG, cs *catalog.ColumnStats) (lo, hi int64) {
+	span := cs.Max - cs.Min
+	if span <= 0 {
+		span = 1
+	}
+	a := cs.Min + (rng.Float64()*1.4-0.2)*span
+	b := cs.Min + (rng.Float64()*1.4-0.2)*span
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a), int64(b)
+}
+
+// TestPropertySelectivityInvariants drives randomized Extract, Groupby
+// and Join queries through randomized catalogs and checks, for every
+// job estimate: IS ∈ [0,1], FS ∈ [0,1], and FS ≤ IS for Extract and
+// Groupby jobs (a job cannot emit more than it shuffles, Eq. 1–2 vs 4).
+func TestPropertySelectivityInvariants(t *testing.T) {
+	rng := sim.New(0x5e1ec7)
+	for trial := 0; trial < 25; trial++ {
+		env := newPropEnv(rng)
+		li := env.cat.Tables["lineitem"]
+		ship := li.Columns["l_shipdate"]
+		qty := li.Columns["l_quantity"]
+		sLo, sHi := randRange(rng, ship)
+		qLo, qHi := randRange(rng, qty)
+		queries := []string{
+			fmt.Sprintf(`SELECT l_orderkey, l_extendedprice FROM lineitem
+				WHERE l_shipdate BETWEEN %d AND %d AND l_quantity BETWEEN %d AND %d`,
+				sLo, sHi, qLo, qHi),
+			fmt.Sprintf(`SELECT l_returnflag, SUM(l_quantity) FROM lineitem
+				WHERE l_shipdate BETWEEN %d AND %d GROUP BY l_returnflag`, sLo, sHi),
+			fmt.Sprintf(`SELECT o_orderkey, l_extendedprice FROM orders
+				JOIN lineitem ON l_orderkey = o_orderkey
+				WHERE l_shipdate BETWEEN %d AND %d`, sLo, sHi),
+		}
+		for _, src := range queries {
+			qe := env.estimate(t, src)
+			for _, je := range qe.Jobs {
+				if je.IS < -propEps || je.IS > 1+propEps {
+					t.Errorf("trial %d sf=%.2f %s %s: IS=%g outside [0,1]\n%s",
+						trial, env.sf, je.Job.ID, je.Job.Type, je.IS, src)
+				}
+				if je.FS < -propEps || je.FS > 1+propEps {
+					t.Errorf("trial %d sf=%.2f %s %s: FS=%g outside [0,1]\n%s",
+						trial, env.sf, je.Job.ID, je.Job.Type, je.FS, src)
+				}
+				switch je.Job.Type {
+				case plan.Extract, plan.Groupby:
+					if je.FS > je.IS+propEps {
+						t.Errorf("trial %d sf=%.2f %s %s: FS=%g > IS=%g\n%s",
+							trial, env.sf, je.Job.ID, je.Job.Type, je.FS, je.IS, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyMonotoneInRangeWidth nests BETWEEN predicates: each wider
+// range strictly contains the previous one, so the estimated selectivity
+// — and with it the scan job's IS — must be non-decreasing (Eq. 1 with
+// Eq. 6's histogram fractions).
+func TestPropertyMonotoneInRangeWidth(t *testing.T) {
+	rng := sim.New(0xbeef)
+	for trial := 0; trial < 10; trial++ {
+		env := newPropEnv(rng)
+		ship := env.cat.Tables["lineitem"].Columns["l_shipdate"]
+		span := ship.Max - ship.Min
+		center := ship.Min + rng.Range(0.2, 0.8)*span
+		delta := span / 24
+		prev := -1.0
+		prevLo, prevHi := int64(0), int64(0)
+		for k := 1; k <= 10; k++ {
+			w := float64(k) * delta
+			lo, hi := int64(center-w), int64(center+w)
+			qe := env.estimate(t, fmt.Sprintf(
+				`SELECT l_orderkey, l_extendedprice FROM lineitem
+				 WHERE l_shipdate BETWEEN %d AND %d`, lo, hi))
+			var is float64
+			found := false
+			for _, je := range qe.Jobs {
+				if je.Job.Type == plan.Extract {
+					is, found = je.IS, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: no Extract job in plan", trial)
+			}
+			if is < prev-propEps {
+				t.Errorf("trial %d sf=%.2f: widening [%d,%d]→[%d,%d] lowered IS %g→%g",
+					trial, env.sf, prevLo, prevHi, lo, hi, prev, is)
+			}
+			prev, prevLo, prevHi = is, lo, hi
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"saqp/internal/plan"
+	"saqp/internal/selectivity"
+)
+
+// cacheEntry is one compile+estimate result. The entry is published into
+// the cache before its computation runs; ready closes once dag/est/err
+// are final and no field changes afterwards, so waiters (and holders of
+// evicted entries) read immutable state.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+
+	dag     *plan.DAG
+	est     *selectivity.QueryEstimate
+	wrd     float64
+	predSec float64
+	err     error
+}
+
+// planCache is a bounded LRU of compile+estimate results keyed by
+// normalized SQL + catalog fingerprint, with single-flight semantics:
+// concurrent lookups of one key share a single computation, so N
+// identical submissions cost one compile. Entries are inserted at lookup
+// time (so duplicates can join the flight immediately); a computation
+// that fails is removed when published, letting later submissions retry.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // key → element whose Value is *cacheEntry
+	lru     list.List                // front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{cap: capacity, entries: make(map[string]*list.Element, capacity)}
+}
+
+// lookup returns the entry for key and whether the caller owns its
+// computation. An owner must fill the entry and call publish exactly
+// once; every other caller waits on entry.ready. Evicted reports how
+// many older entries the insertion displaced.
+func (c *planCache) lookup(key string) (e *cacheEntry, owner bool, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry), false, 0
+	}
+	c.misses++
+	e = &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+		evicted++
+	}
+	return e, true, evicted
+}
+
+// publish closes the entry's ready channel, releasing waiters. Failed
+// computations are dropped from the cache so the error is not sticky.
+func (c *planCache) publish(e *cacheEntry) {
+	close(e.ready)
+	if e.err == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The entry may already have been evicted, or even replaced by a
+	// fresh flight for the same key; only drop our own element.
+	if el, ok := c.entries[e.key]; ok && el.Value.(*cacheEntry) == e {
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+	}
+}
+
+// counters returns the cache's lifetime hit/miss/eviction counts.
+func (c *planCache) counters() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// len returns the current entry count.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,32 @@
+package serve
+
+// admitHeap is the SWRD admission queue: a min-heap of tickets ordered
+// by Weighted Resource Demand (paper Eq. 10), so freed pool workers
+// always serve the cheapest admitted query first — Smallest-WRD-first at
+// the serving layer, mirroring what the SWRD policy does for slots
+// inside one cluster. Ties (including the untrained WRD=0 case, where
+// every ticket ties) break by submission sequence, preserving FIFO
+// fairness between equal queries.
+type admitHeap []*Ticket
+
+func (h admitHeap) Len() int { return len(h) }
+
+func (h admitHeap) Less(i, j int) bool {
+	if h[i].wrd != h[j].wrd {
+		return h[i].wrd < h[j].wrd
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h admitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *admitHeap) Push(x any) { *h = append(*h, x.(*Ticket)) }
+
+func (h *admitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

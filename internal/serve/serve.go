@@ -1,0 +1,485 @@
+// Package serve is the concurrent query-serving engine over the paper's
+// prediction stack: many goroutines submit HiveQL text, the engine
+// deduplicates compile+estimate work through a bounded single-flight LRU
+// cache (keyed by normalized SQL + catalog fingerprint), ranks admitted
+// queries by Weighted Resource Demand (paper Eq. 10) into an SWRD
+// admission queue, and dispatches them onto a pool of cluster
+// simulators. Submissions are cancellable via context.Context — a
+// canceled query is skipped if still queued and aborted mid-run if
+// already on a simulator — and Close drains gracefully: queued work
+// completes, then the pool exits.
+//
+// Keeping prediction on the hot admission path is the point (cf. Wu et
+// al. on query-time prediction and Rizvandi et al. on MapReduce CPU
+// regression): every admission decision consumes the semantics-aware
+// estimate, so the estimate must be cached and the models must be safe
+// under concurrent readers. The fitted models and the catalog are
+// immutable after construction, so the engine shares them across the
+// pool without locks; all mutable state (cache, queue, counters) is
+// guarded here.
+//
+// The engine is deterministic modulo goroutine interleaving: each
+// query's simulated run depends only on its submission seed, and every
+// metric recorded is a count or a simulated duration. Identical seeds
+// submitted in serialized order therefore reproduce byte-identical
+// metrics and drift snapshots (the package is in the determinism
+// analyzer's scope — no wall clock, no global RNG, no map-ordered
+// output).
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"saqp/internal/cluster"
+	"saqp/internal/dataset"
+	"saqp/internal/obs"
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+	"saqp/internal/query"
+	"saqp/internal/selectivity"
+	"saqp/internal/trace"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("serve: engine closed")
+
+// ErrQueueFull is returned by Submit when the admission queue is at its
+// configured capacity.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// Config assembles a serving engine. Estimator and Scheduler are
+// required; everything else defaults sensibly.
+type Config struct {
+	// Schemas resolve submitted queries; nil defaults to
+	// dataset.AllSchemas().
+	Schemas map[string]*dataset.Schema
+	// Estimator performs selectivity estimation (required). It must be
+	// read-only after construction — the pool shares it without locks.
+	Estimator *selectivity.Estimator
+	// CatalogFingerprint identifies the statistics the estimator reads
+	// (catalog.Fingerprint). It is folded into every cache key, so an
+	// engine rebuilt over fresh statistics never serves stale estimates.
+	CatalogFingerprint string
+	// TaskModel supplies the WRD admission ranking and per-task
+	// predicted durations. Nil degrades gracefully: FIFO admission
+	// (every WRD is 0) and a constant task-time baseline.
+	TaskModel *predict.TaskModel
+	// JobModel, together with Observer, records per-job prediction
+	// drift for every served query (the live Tables 3–5).
+	JobModel *predict.JobModel
+	// Cluster sizes each pool simulator; the zero value means the
+	// paper's 9-node default.
+	Cluster cluster.Config
+	// Scheduler is the slot policy each pool simulator runs (required).
+	// The policies in internal/sched are stateless values, safe to
+	// share across the pool.
+	Scheduler cluster.Scheduler
+	// Workers is the simulator pool size. Default 4.
+	Workers int
+	// CacheSize bounds the plan/estimate LRU entry count. Default 256.
+	CacheSize int
+	// QueueCap bounds the admission queue; submissions beyond it fail
+	// with ErrQueueFull. 0 means unbounded.
+	QueueCap int
+	// Observer receives serve metrics and prediction drift; nil
+	// disables instrumentation at zero cost.
+	Observer *obs.Observer
+}
+
+// Result is one served query's outcome.
+type Result struct {
+	// ID is the engine-assigned submission id ("q000042").
+	ID string
+	// SQL is the normalized query text the cache keyed on.
+	SQL string
+	// CacheHit reports whether compile+estimate came from the cache
+	// (including joining another submission's in-flight computation).
+	CacheHit bool
+	// WRD is the query's Weighted Resource Demand (Eq. 10) at admission.
+	WRD float64
+	// PredictedSec is the model-predicted standalone response time
+	// (0 when the engine has no task model).
+	PredictedSec float64
+	// SimSec is the simulated response time on the pool simulator.
+	SimSec float64
+	// Jobs, Maps and Reduces describe the executed plan.
+	Jobs, Maps, Reduces int
+}
+
+// Ticket is a pending submission. Exactly one completion is delivered
+// per ticket; Wait may be called from any goroutine, any number of
+// times, and always agrees.
+type Ticket struct {
+	id   string
+	seq  uint64
+	seed uint64
+	ctx  context.Context
+
+	est      *selectivity.QueryEstimate
+	sql      string
+	wrd      float64
+	predSec  float64
+	cacheHit bool
+
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// ID returns the engine-assigned submission id.
+func (t *Ticket) ID() string { return t.id }
+
+// WRD returns the Weighted Resource Demand the admission queue ranked
+// this submission by.
+func (t *Ticket) WRD() float64 { return t.wrd }
+
+// Done returns a channel closed when the query completes (successfully
+// or not).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the query completes or ctx is canceled. A ctx
+// cancellation abandons only this Wait — the query itself is governed
+// by the context passed to Submit.
+func (t *Ticket) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Submitted uint64 // submissions accepted into the admission queue
+	Completed uint64 // queries served to completion
+	Canceled  uint64 // submissions abandoned by context cancellation
+	Rejected  uint64 // submissions refused by a full queue
+	Errors    uint64 // compile/estimate/simulation failures
+
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheEntries   int
+
+	QueueDepth int // tickets awaiting a pool worker
+	Inflight   int // tickets on pool simulators right now
+	Workers    int
+}
+
+// HitRate returns the cache hit fraction, 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	n := s.CacheHits + s.CacheMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(n)
+}
+
+// Engine is the concurrent query-serving engine. See the package
+// comment for the pipeline.
+type Engine struct {
+	cfg   Config
+	cache *planCache
+	pred  cluster.TaskTimePredictor
+	slots predict.Slots
+	ov    predict.Overheads
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    admitHeap
+	seq      uint64
+	closed   bool
+	inflight int
+	st       Stats
+
+	wg sync.WaitGroup
+}
+
+// New builds and starts an engine: the worker pool is live on return.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Estimator == nil {
+		return nil, errors.New("serve: Config.Estimator is required")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("serve: Config.Scheduler is required")
+	}
+	if cfg.Schemas == nil {
+		cfg.Schemas = dataset.AllSchemas()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.Cluster.Nodes <= 0 {
+		cfg.Cluster = cluster.DefaultConfig()
+	}
+	e := &Engine{cfg: cfg, cache: newPlanCache(cfg.CacheSize)}
+	e.cond = sync.NewCond(&e.mu)
+	e.pred = cluster.ConstantPredictor(1)
+	if cfg.TaskModel != nil {
+		e.pred = cfg.TaskModel
+	}
+	e.slots = predict.Slots{
+		Map:    cfg.Cluster.Nodes * cfg.Cluster.MapSlotsPerNode,
+		Reduce: cfg.Cluster.Nodes * cfg.Cluster.ReduceSlotsPerNode,
+	}
+	if e.slots.Map <= 0 || e.slots.Reduce <= 0 {
+		e.slots = predict.DefaultSlots()
+	}
+	e.ov = predict.Overheads{
+		SchedPerTaskSec: cfg.Cluster.SchedulingOverheadSec,
+		JobInitSec:      cfg.Cluster.JobInitSec,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Submit normalizes and admits one query: parse, cached
+// compile+estimate (single-flight), WRD ranking, enqueue. The returned
+// ticket completes when a pool worker has served the query. ctx governs
+// the whole submission — cancel it and the query is skipped if queued,
+// aborted if running.
+//
+// seed drives the query's hidden ground-truth cost model, so a fixed
+// (sql, seed) pair simulates identically regardless of pool scheduling.
+func (e *Engine) Submit(ctx context.Context, sql string, seed uint64) (*Ticket, error) {
+	o := e.cfg.Observer
+	o.ServeSubmitted()
+	q, err := query.Parse(sql)
+	if err != nil {
+		o.ServeError()
+		e.count(func(s *Stats) { s.Errors++ })
+		return nil, err
+	}
+	norm := q.String()
+	ent, owner, evicted := e.cache.lookup(norm + "\x00" + e.cfg.CatalogFingerprint)
+	o.ServeCacheLookup(!owner)
+	for i := 0; i < evicted; i++ {
+		o.ServeCacheEvicted()
+	}
+	if owner {
+		e.compute(ent, q)
+	} else {
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			o.ServeCanceled(e.inflightNow())
+			e.count(func(s *Stats) { s.Canceled++ })
+			return nil, ctx.Err()
+		}
+	}
+	if ent.err != nil {
+		o.ServeError()
+		e.count(func(s *Stats) { s.Errors++ })
+		return nil, ent.err
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if e.cfg.QueueCap > 0 && len(e.queue) >= e.cfg.QueueCap {
+		e.st.Rejected++
+		e.mu.Unlock()
+		o.ServeRejected()
+		return nil, ErrQueueFull
+	}
+	e.seq++
+	t := &Ticket{
+		id:       fmt.Sprintf("q%06d", e.seq),
+		seq:      e.seq,
+		seed:     seed,
+		ctx:      ctx,
+		est:      ent.est,
+		sql:      norm,
+		wrd:      ent.wrd,
+		predSec:  ent.predSec,
+		cacheHit: !owner,
+		done:     make(chan struct{}),
+	}
+	heap.Push(&e.queue, t)
+	e.st.Submitted++
+	depth := len(e.queue)
+	e.mu.Unlock()
+	o.ServeAdmitted(t.wrd, depth)
+	e.cond.Signal()
+	return t, nil
+}
+
+// compute fills a cache entry the caller owns: resolve, compile,
+// estimate, and score (WRD + predicted standalone seconds).
+func (e *Engine) compute(ent *cacheEntry, q *query.Query) {
+	defer e.cache.publish(ent)
+	if err := query.Resolve(q, e.cfg.Schemas); err != nil {
+		ent.err = err
+		return
+	}
+	d, err := plan.Compile(q)
+	if err != nil {
+		ent.err = err
+		return
+	}
+	est, err := e.cfg.Estimator.EstimateQuery(d)
+	if err != nil {
+		ent.err = err
+		return
+	}
+	ent.dag, ent.est = d, est
+	if tm := e.cfg.TaskModel; tm != nil {
+		ent.wrd = tm.WRD(est)
+		ent.predSec = tm.PredictQuery(est, e.slots, e.ov)
+	}
+}
+
+// count applies a mutation to the stats under the engine lock.
+func (e *Engine) count(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.st)
+	e.mu.Unlock()
+}
+
+// inflightNow reads the in-flight count for observer gauges.
+func (e *Engine) inflightNow() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inflight
+}
+
+// worker serves admitted tickets until the engine closes and drains.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		t := e.next()
+		if t == nil {
+			return
+		}
+		e.run(t)
+	}
+}
+
+// next blocks for the smallest-WRD admitted ticket, or nil once the
+// engine is closed and the queue drained.
+func (e *Engine) next() *Ticket {
+	e.mu.Lock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	t := heap.Pop(&e.queue).(*Ticket)
+	e.inflight++
+	depth, inflight := len(e.queue), e.inflight
+	e.mu.Unlock()
+	e.cfg.Observer.ServeDequeued(depth, inflight)
+	return t
+}
+
+// run executes one ticket on a fresh pool simulator and delivers its
+// completion.
+func (e *Engine) run(t *Ticket) {
+	if t.ctx != nil {
+		select {
+		case <-t.ctx.Done():
+			e.finish(t, Result{}, t.ctx.Err())
+			return
+		default:
+		}
+	}
+	cq := cluster.BuildQuery(t.id, t.est, trace.NewDefaultCostModel(t.seed), e.pred)
+	sim := cluster.New(e.cfg.Cluster, e.cfg.Scheduler)
+	sim.Submit(cq, 0)
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, err := sim.RunContext(ctx); err != nil {
+		e.finish(t, Result{}, err)
+		return
+	}
+	if o := e.cfg.Observer; o != nil && o.Drift != nil && e.cfg.JobModel != nil {
+		for ji, je := range t.est.Jobs {
+			sj := cq.Jobs[ji]
+			if sj.DoneTime <= sj.SubmitTime {
+				continue
+			}
+			o.Drift.RecordJob(je.Job.Type.String(), e.cfg.JobModel.PredictJob(je), sj.DoneTime-sj.SubmitTime)
+		}
+	}
+	res := Result{
+		ID: t.id, SQL: t.sql, CacheHit: t.cacheHit,
+		WRD: t.wrd, PredictedSec: t.predSec,
+		SimSec: cq.ResponseTime(), Jobs: len(cq.Jobs),
+	}
+	for _, j := range cq.Jobs {
+		res.Maps += len(j.Maps)
+		res.Reduces += len(j.Reds)
+	}
+	e.finish(t, res, nil)
+}
+
+// finish delivers a ticket's completion exactly once and updates
+// counters per outcome.
+func (e *Engine) finish(t *Ticket, res Result, err error) {
+	t.res, t.err = res, err
+	e.mu.Lock()
+	e.inflight--
+	inflight := e.inflight
+	switch {
+	case err == nil:
+		e.st.Completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.st.Canceled++
+	default:
+		e.st.Errors++
+	}
+	e.mu.Unlock()
+	switch {
+	case err == nil:
+		e.cfg.Observer.ServeCompleted(res.SimSec, inflight)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.cfg.Observer.ServeCanceled(inflight)
+	default:
+		e.cfg.Observer.ServeError()
+	}
+	close(t.done)
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	hits, misses, evictions := e.cache.counters()
+	e.mu.Lock()
+	s := e.st
+	s.QueueDepth = len(e.queue)
+	s.Inflight = e.inflight
+	s.Workers = e.cfg.Workers
+	e.mu.Unlock()
+	s.CacheHits, s.CacheMisses, s.CacheEvictions = hits, misses, evictions
+	s.CacheEntries = e.cache.len()
+	return s
+}
+
+// Close stops admissions and drains gracefully: queued and in-flight
+// queries run to completion (or to their contexts' cancellation), then
+// the pool exits. Close blocks until the pool has exited and is safe to
+// call more than once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	e.wg.Wait()
+	return nil
+}

@@ -80,6 +80,16 @@ func TPCHNames() []string {
 	return names
 }
 
+// TPCHSQL returns the named canonical query's HiveQL text, for callers
+// (like the serving layer) that take SQL rather than a parsed query.
+func TPCHSQL(name string) (string, error) {
+	src, ok := tpchQueries[name]
+	if !ok {
+		return "", fmt.Errorf("workload: unknown TPC-H query %q (have %v)", name, TPCHNames())
+	}
+	return src, nil
+}
+
 // TPCHQuery parses and resolves the named canonical query ("q1", "q3",
 // "q6", "q11", "q14", "q17", "q19").
 func TPCHQuery(name string) (*query.Query, error) {

@@ -329,6 +329,13 @@ func (f *Framework) SimulateQuery(id string, qe *QueryEstimate, scheduler string
 // selectivity walk-through.
 func TPCHQuery(name string) (*Query, error) { return workload.TPCHQuery(name) }
 
+// TPCHNames lists the canonical TPC-H-derived query names, sorted.
+func TPCHNames() []string { return workload.TPCHNames() }
+
+// TPCHSQL returns the named canonical query's HiveQL text — the form
+// Server.Submit accepts.
+func TPCHSQL(name string) (string, error) { return workload.TPCHSQL(name) }
+
 // NewEngine builds an execution engine with relations for every schema
 // materialised at the given laptop-scale factor. The engine actually runs
 // queries, providing ground-truth sizes to compare against Estimate.
@@ -343,20 +350,19 @@ func NewEngine(sf float64, seed uint64) *Engine {
 	return e
 }
 
-// schedulerByName maps experiment names to policies.
+// SchedulerNames returns every scheduler name the experiment entry
+// points accept, in the order the paper's evaluation presents them.
+func SchedulerNames() []string { return sched.Names() }
+
+// schedulerByName maps experiment names to policies via the sched
+// package registry; unknown names produce an error enumerating the
+// valid schedulers.
 func schedulerByName(name string) (cluster.Scheduler, error) {
-	switch name {
-	case SchedulerHCS:
-		// The stock single-queue capacity configuration the paper's
-		// motivation experiment exhibits (multi-queue HCS is available as
-		// sched.HCS{Queues: n} for ablations).
-		return sched.HCS{}, nil
-	case SchedulerHFS:
-		return sched.HFS{}, nil
-	case SchedulerSWRD:
-		return sched.SWRD{}, nil
+	pol, err := sched.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("saqp: %w", err)
 	}
-	return nil, fmt.Errorf("saqp: unknown scheduler %q", name)
+	return pol, nil
 }
 
 // defaultCostModel builds the hidden ground-truth cost model used by the

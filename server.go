@@ -1,0 +1,121 @@
+package saqp
+
+import (
+	"context"
+	"time"
+
+	"saqp/internal/serve"
+)
+
+// Serving-layer re-exports, so callers stay on the facade.
+type (
+	// Ticket is a pending Server submission; see Server.Submit.
+	Ticket = serve.Ticket
+	// ServeResult is one served query's outcome.
+	ServeResult = serve.Result
+	// ServeStats snapshots a Server's counters.
+	ServeStats = serve.Stats
+)
+
+// ErrServerClosed is returned by Submit after Close has begun.
+var ErrServerClosed = serve.ErrClosed
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity.
+var ErrQueueFull = serve.ErrQueueFull
+
+// ServerOptions configures a Server. The zero value serves with SWRD
+// admission on the paper's default cluster.
+type ServerOptions struct {
+	// Workers is the simulator pool size. Default 4.
+	Workers int
+	// CacheSize bounds the plan/estimate cache entry count. Default 256.
+	CacheSize int
+	// QueueCap bounds the admission queue (ErrQueueFull beyond it).
+	// 0 means unbounded.
+	QueueCap int
+	// Cluster sizes each pool simulator; the zero value means the
+	// paper's 9-node default.
+	Cluster ClusterConfig
+	// Scheduler names the slot policy each pool simulator runs — one of
+	// SchedulerNames(). Empty means SchedulerSWRD.
+	Scheduler string
+	// QueryTimeout, when positive, bounds each submission's wall-clock
+	// lifetime: Submit's context is wrapped with this deadline, so a
+	// stuck query is canceled rather than holding a pool worker.
+	QueryTimeout time.Duration
+}
+
+// Server is the framework's concurrent query-serving engine: submissions
+// from any number of goroutines are deduplicated through a single-flight
+// plan/estimate cache, ranked by Weighted Resource Demand into an SWRD
+// admission queue, and dispatched onto a pool of cluster simulators.
+// See internal/serve for the pipeline; Server adds the facade's trained
+// models, catalog fingerprinting, and wall-clock timeouts.
+type Server struct {
+	eng  *serve.Engine
+	opts ServerOptions
+}
+
+// NewServer starts a serving engine over the framework's estimator and
+// any trained models (Train/TrainDefault before NewServer to get WRD
+// admission ranking and drift accounting; untrained frameworks serve
+// FIFO). The engine shares the framework's catalog and models, which are
+// read-only after construction, so the framework remains usable
+// concurrently.
+func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
+	name := opts.Scheduler
+	if name == "" {
+		name = SchedulerSWRD
+	}
+	pol, err := schedulerByName(name)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.New(serve.Config{
+		Schemas:            f.Schemas,
+		Estimator:          f.Estimator,
+		CatalogFingerprint: f.Catalog.Fingerprint(),
+		TaskModel:          f.TaskTime,
+		JobModel:           f.JobTime,
+		Cluster:            opts.Cluster,
+		Scheduler:          pol,
+		Workers:            opts.Workers,
+		CacheSize:          opts.CacheSize,
+		QueueCap:           opts.QueueCap,
+		Observer:           f.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng, opts: opts}, nil
+}
+
+// Submit admits one HiveQL query for serving and returns a ticket whose
+// Wait delivers the result. ctx governs the submission end to end: cancel
+// it and the query is skipped if still queued, aborted if running. seed
+// drives the query's hidden ground-truth cost model — a fixed (sql, seed)
+// pair simulates identically on every run.
+func (s *Server) Submit(ctx context.Context, sql string, seed uint64) (*Ticket, error) {
+	if s.opts.QueryTimeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, s.opts.QueryTimeout)
+		t, err := s.eng.Submit(tctx, sql, seed)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		go func() {
+			<-t.Done()
+			cancel()
+		}()
+		return t, nil
+	}
+	return s.eng.Submit(ctx, sql, seed)
+}
+
+// Stats snapshots the engine's counters.
+func (s *Server) Stats() ServeStats { return s.eng.Stats() }
+
+// Close stops admissions and drains gracefully: queued and in-flight
+// queries complete, then the worker pool exits. Blocks until drained.
+func (s *Server) Close() error { return s.eng.Close() }
