@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint fuzz-smoke stress cover-serve bench bench-serve ci clean
+.PHONY: all build test race lint fuzz-smoke stress cover-serve bench bench-serve bench-fault ci clean
 
 all: build
 
@@ -59,6 +59,16 @@ bench-serve:
 	$(GO) run -race ./cmd/benchrunner -serve -serve-queries $(SERVE_QUERIES) \
 		-concurrency 16 -bench-out bench-out
 
+# Fault-injection replay: the TPC-H set under the default deterministic
+# fault plan (node crashes, slowdown windows, transient task failures).
+# Fails unless recovery completes every query; writes
+# bench-out/BENCH_fault.json with retry counts and p50/p99 inflation.
+FAULT_SEED ?= 2018
+bench-fault:
+	@mkdir -p bench-out
+	$(GO) run ./cmd/benchrunner -faults -fault-seed $(FAULT_SEED) \
+		-fault-min-completion 1 -bench-out bench-out -csv bench-out
+
 # Regenerate the paper's tables and figures with full observability:
 # machine-readable BENCH_<exp>.json per experiment, a Perfetto-loadable
 # trace of the simulated runs (gzipped; Perfetto opens .json.gz
@@ -72,7 +82,7 @@ bench:
 	gzip -f -9 bench-out/runs.trace.json
 
 # Everything CI runs, in the same order.
-ci: build lint test race fuzz-smoke stress cover-serve
+ci: build lint test race fuzz-smoke stress cover-serve bench-fault
 
 clean:
 	rm -rf $(BIN) bench-out

@@ -35,6 +35,13 @@ func main() {
 		promOut  = flag.String("metrics", "", "write Prometheus text-format metrics to this file")
 		benchDir = flag.String("bench-out", "", "write machine-readable BENCH_<exp>.json results into this directory")
 
+		faultMode    = flag.Bool("faults", false, "run the fault-injection replay benchmark instead of the paper experiments")
+		faultSeed    = flag.Uint64("fault-seed", 2018, "faults: seed of the injected fault plan")
+		faultRounds  = flag.Int("fault-rounds", 3, "faults: copies of the canonical TPC-H set replayed")
+		faultGap     = flag.Float64("fault-gap", 20, "faults: mean Poisson inter-arrival gap in seconds")
+		faultMinComp = flag.Float64("fault-min-completion", 0, "faults: exit nonzero when the completion rate drops below this fraction (CI gate; 0 disables)")
+		faultSched   = flag.String("fault-sched", "SWRD", "faults: scheduler for both the clean and faulted replay")
+
 		serveMode    = flag.Bool("serve", false, "run the concurrent serving benchmark instead of the paper experiments")
 		concurrency  = flag.Int("concurrency", 16, "serve: submitter goroutines")
 		qps          = flag.Float64("qps", 0, "serve: open-loop arrival rate in queries/sec (0 = closed-loop)")
@@ -53,6 +60,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
+	}
+	if *faultMode {
+		fc := faultConfig{
+			Seed:          *faultSeed,
+			Rounds:        *faultRounds,
+			GapSec:        *faultGap,
+			MinCompletion: *faultMinComp,
+			Scheduler:     *faultSched,
+			CorpusSeed:    *seed,
+		}
+		if err := faultBench(fc, *benchDir, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *serveMode {
 		sc := serveConfig{

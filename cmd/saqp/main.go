@@ -28,15 +28,17 @@ import (
 
 func main() {
 	var (
-		sql      = flag.String("query", "", "HiveQL query text (required)")
-		sf       = flag.Float64("sf", 10, "scale factor of the synthetic database (1 ≈ 1 GB TPC-H)")
-		train    = flag.Bool("train", false, "train the time models on a synthetic corpus (slower; enables predictions)")
-		queries  = flag.Int("train-queries", 160, "corpus size when -train is set")
-		models   = flag.String("models", "", "path to a trained-models JSON bundle: loaded if it exists, written after -train otherwise")
-		traceOut = flag.String("trace", "", "simulate the query and write a Chrome trace-event JSON (Perfetto-loadable) to this file")
-		promOut  = flag.String("metrics", "", "simulate the query and write Prometheus text-format metrics to this file")
-		schedler = flag.String("scheduler", saqp.SchedulerSWRD, "scheduler for the simulated run (HCS|HFS|SWRD)")
-		seed     = flag.Uint64("seed", 2018, "cost-model seed for the simulated run")
+		sql       = flag.String("query", "", "HiveQL query text (required)")
+		sf        = flag.Float64("sf", 10, "scale factor of the synthetic database (1 ≈ 1 GB TPC-H)")
+		train     = flag.Bool("train", false, "train the time models on a synthetic corpus (slower; enables predictions)")
+		queries   = flag.Int("train-queries", 160, "corpus size when -train is set")
+		models    = flag.String("models", "", "path to a trained-models JSON bundle: loaded if it exists, written after -train otherwise")
+		traceOut  = flag.String("trace", "", "simulate the query and write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+		promOut   = flag.String("metrics", "", "simulate the query and write Prometheus text-format metrics to this file")
+		schedler  = flag.String("scheduler", saqp.SchedulerSWRD, "scheduler for the simulated run (HCS|HFS|SWRD)")
+		seed      = flag.Uint64("seed", 2018, "cost-model seed for the simulated run")
+		faults    = flag.Bool("faults", false, "inject the default deterministic fault plan into the simulated run (crashes, slowdowns, transient task failures)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault plan used with -faults")
 	)
 	flag.Parse()
 	if *sql == "" {
@@ -44,14 +46,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*sql, *sf, *train, *queries, *models, *traceOut, *promOut, *schedler, *seed); err != nil {
+	var fp *saqp.FaultPlan
+	if *faults {
+		fp = saqp.NewFaultPlan(saqp.DefaultFaultSpec(*faultSeed))
+	}
+	if err := run(*sql, *sf, *train, *queries, *models, *traceOut, *promOut, *schedler, *seed, fp); err != nil {
 		fmt.Fprintln(os.Stderr, "saqp:", err)
 		os.Exit(1)
 	}
 }
 
 func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
-	traceOut, promOut, scheduler string, seed uint64) error {
+	traceOut, promOut, scheduler string, seed uint64, fp *saqp.FaultPlan) error {
 	var o *saqp.Observer
 	var traceFile *os.File
 	if traceOut != "" || promOut != "" {
@@ -104,7 +110,7 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
 
 	if !train && fw.TaskTime == nil {
 		fmt.Println("\n(run with -train to predict execution time and WRD)")
-		return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed)
+		return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed, fp)
 	}
 	if train {
 		fmt.Printf("\nTraining time models on %d synthetic queries...\n", trainQueries)
@@ -144,21 +150,31 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
 		}
 		fmt.Printf("  %s predicted job time (Eq. 8): %.1f s\n", je.Job.ID, js)
 	}
-	return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed)
+	return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed, fp)
 }
 
 // simulate runs the estimated query on the simulated cluster when an
-// observer was requested, then flushes the trace and metrics outputs.
+// observer was requested or a fault plan is set, then flushes the trace
+// and metrics outputs.
 func simulate(fw *saqp.Framework, o *saqp.Observer, est *saqp.QueryEstimate,
-	traceFile *os.File, traceOut, promOut, scheduler string, seed uint64) error {
-	if o == nil {
+	traceFile *os.File, traceOut, promOut, scheduler string, seed uint64, fp *saqp.FaultPlan) error {
+	if o == nil && fp == nil {
 		return nil
 	}
-	secs, err := fw.SimulateQuery("q1", est, scheduler, seed)
+	cc := saqp.DefaultClusterConfig()
+	cc.Faults = fp
+	secs, err := fw.SimulateQueryConfig("q1", est, scheduler, seed, cc)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nSimulated response time (alone, %s): %.1f s\n", scheduler, secs)
+	mode := ""
+	if fp != nil {
+		mode = ", faults injected"
+	}
+	fmt.Printf("\nSimulated response time (alone, %s%s): %.1f s\n", scheduler, mode, secs)
+	if o == nil {
+		return nil
+	}
 	if err := o.Close(); err != nil {
 		return err
 	}

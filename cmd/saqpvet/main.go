@@ -1,5 +1,5 @@
 // Command saqpvet is the project's static-analysis driver. It runs the
-// four saqp-specific analyzers (determinism, floatcmp, lockcheck,
+// saqp-specific analyzers (determinism, doccheck, floatcmp, lockcheck,
 // errdrop — see internal/analysis) in two modes:
 //
 // Standalone, over package patterns:
@@ -36,6 +36,7 @@ import (
 
 	"saqp/internal/analysis"
 	"saqp/internal/analysis/determinism"
+	"saqp/internal/analysis/doccheck"
 	"saqp/internal/analysis/errdrop"
 	"saqp/internal/analysis/floatcmp"
 	"saqp/internal/analysis/lockcheck"
@@ -43,6 +44,7 @@ import (
 
 var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
+	doccheck.Analyzer,
 	floatcmp.Analyzer,
 	lockcheck.Analyzer,
 	errdrop.Analyzer,

@@ -1,0 +1,38 @@
+// Package saqp is a from-scratch Go reproduction of "Semantics-Aware
+// Prediction for Analytic Queries in MapReduce Environment" (Yu, Liu, Ding;
+// ICPP'18 Companion): a framework that percolates query-level semantics
+// from a HiveQL-style compiler down to the MapReduce scheduler, estimates
+// per-job data selectivities from offline histograms, predicts job/task/
+// query execution times with multivariate linear models, and schedules
+// queries by Smallest Weighted Resource Demand (SWRD).
+//
+// The package is a facade over the internal subsystems:
+//
+//   - query/plan   — HiveQL subset parser and Hive-style DAG compiler
+//   - catalog      — offline table statistics and equi-width histograms
+//   - selectivity  — IS/FS estimation (paper Section 3, Eq. 1–7)
+//   - predict      — multivariate time models (Section 4, Eq. 8–10)
+//   - mapreduce    — a real in-memory MapReduce engine (ground truth)
+//   - cluster      — a discrete-event simulator of the 9-node testbed
+//   - sched        — HCS, HFS and SWRD scheduling policies
+//   - workload     — TPC-H/DS query generator and Table 2 workload mixes
+//   - serve        — concurrent serving engine with SWRD admission
+//   - fault        — deterministic fault plans (crashes, stragglers,
+//     transient task failures) replayed by the cluster simulator
+//   - obs          — deterministic tracing, metrics and drift accounting
+//
+// Every simulated result is a pure function of its seeds: experiments,
+// traces, metrics and fault replays are byte-identical across runs for
+// equal configuration (see DESIGN.md for the determinism contract).
+//
+// Typical use:
+//
+//	fw, _ := saqp.NewFramework(saqp.Options{ScaleFactor: 10})
+//	dag, _ := fw.Compile(`SELECT c_name, count(*) FROM customer
+//	                      JOIN orders ON o_custkey = c_custkey
+//	                      GROUP BY c_name`)
+//	est, _ := fw.Estimate(dag)      // per-job D_in/D_med/D_out, task counts
+//	fw.TrainDefault()               // fit Eq. 8/9 on a synthetic corpus
+//	secs := fw.PredictQuerySeconds(est)
+//	wrd := fw.WRD(est)              // Eq. 10 for SWRD scheduling
+package saqp

@@ -20,6 +20,14 @@ import (
 
 func main() {
 	queries := flag.Int("queries", 240, "corpus size (paper: 1000)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"accuracy reproduces the paper's prediction-accuracy artifacts: Table 3\n"+
+				"(job time model, Eq. 8), Tables 4-5 (map/reduce task models, Eq. 9),\n"+
+				"Figure 6 (job scatter) and Figure 7 (query-level prediction).\n\n"+
+				"usage: go run ./examples/accuracy [flags]\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg := saqp.DefaultExperimentConfig()

@@ -26,6 +26,14 @@ func main() {
 	queries := flag.Int("queries", 200, "training corpus size")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
 	promOut := flag.String("metrics", "", "write Prometheus text-format metrics to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"scheduler-comparison reproduces the paper's Figure 8: the Bing and\n"+
+				"Facebook workload mixes (Table 2) replayed with Poisson arrivals under\n"+
+				"HCS, HFS and SWRD on the simulated 9-node cluster.\n\n"+
+				"usage: go run ./examples/scheduler-comparison [flags]\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var traceFile *os.File

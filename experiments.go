@@ -10,6 +10,7 @@ import (
 	"saqp/internal/predict"
 	"saqp/internal/sched"
 	"saqp/internal/selectivity"
+	"saqp/internal/sim"
 	"saqp/internal/trace"
 	"saqp/internal/workload"
 )
@@ -88,10 +89,10 @@ func RecordCorpusDrift(a *TrainedArtifacts, o *Observer) {
 		return
 	}
 	for _, s := range a.Train.JobSamples {
-		o.Drift.RecordJob(s.Op.String(), a.Jobs.PredictSample(s), s.Seconds)
+		o.Drift.RecordJob(s.Op.String(), a.Jobs.PredictSample(s), s.Seconds, false)
 	}
 	for _, s := range a.Train.TaskSamples {
-		o.Drift.RecordTask(s.Op.String(), s.Reduce, a.Tasks.PredictTaskSample(s), s.Seconds)
+		o.Drift.RecordTask(s.Op.String(), s.Reduce, a.Tasks.PredictTaskSample(s), s.Seconds, false)
 	}
 }
 
@@ -436,7 +437,7 @@ func recordJobDrift(o *Observer, jm *predict.JobModel, est *selectivity.QueryEst
 		if sj.DoneTime <= sj.SubmitTime {
 			continue
 		}
-		o.Drift.RecordJob(je.Job.Type.String(), jm.PredictJob(je), sj.DoneTime-sj.SubmitTime)
+		o.Drift.RecordJob(je.Job.Type.String(), jm.PredictJob(je), sj.DoneTime-sj.SubmitTime, q.Faulted)
 	}
 }
 
@@ -613,4 +614,148 @@ func ReproduceFig5() ([]Fig5Job, error) {
 		})
 	}
 	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fault replay: TPC-H under deterministic fault injection
+// ---------------------------------------------------------------------------
+
+// FaultReplayResult compares one TPC-H replay run twice on the same
+// cluster and scheduler: once clean and once under a fault plan. The
+// inflation ratios quantify how much injected crashes, slowdowns and
+// transient failures stretch the response-time distribution, and
+// CompletionRate reports how much of the workload the recovery machinery
+// (re-execution, backoff, blacklisting) carried to completion.
+type FaultReplayResult struct {
+	Scheduler string
+	Queries   int
+	// Completed and Failed partition the faulted run's queries; a failed
+	// query carries a *TaskFailedError (attempt cap exhausted).
+	Completed int
+	Failed    int
+	// CompletionRate is Completed / Queries of the faulted run.
+	CompletionRate float64
+	// Clean vs faulted response-time percentiles and their ratios.
+	CleanP50Sec, CleanP99Sec   float64
+	FaultP50Sec, FaultP99Sec   float64
+	P50Inflation, P99Inflation float64
+	// Makespans of the two runs.
+	CleanMakespanSec, FaultMakespanSec float64
+	// Faults tallies the faulted run's recovery activity.
+	Faults FaultStats
+}
+
+// ReproduceFaultReplay replays the canonical TPC-H queries (rounds copies
+// each, Poisson arrivals with meanGapSec) on cfg.Cluster twice — clean,
+// then under fp — and reports the fault run's recovery outcome against
+// the clean baseline. Both runs share per-query cost-model seeds, so
+// every difference is attributable to the plan. a may be nil (constant
+// task predictions); scheduler defaults to SWRD.
+func ReproduceFaultReplay(a *TrainedArtifacts, cfg ExperimentConfig, fp *FaultPlan,
+	scheduler string, rounds int, meanGapSec float64) (*FaultReplayResult, error) {
+	if scheduler == "" {
+		scheduler = SchedulerSWRD
+	}
+	pol, err := schedulerByName(scheduler)
+	if err != nil {
+		return nil, err
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	if meanGapSec <= 0 {
+		meanGapSec = 20
+	}
+
+	// Compile and estimate each canonical query once; arrivals come from a
+	// seeded exponential clock shared by both runs.
+	type item struct {
+		est     *selectivity.QueryEstimate
+		arrival float64
+		name    string
+		seed    uint64
+	}
+	cat := workload.NewCatalogCache(1024).Get(10)
+	est := selectivity.NewEstimator(cat, selectivity.Config{})
+	byName := map[string]*selectivity.QueryEstimate{}
+	names := workload.TPCHNames()
+	for _, name := range names {
+		q, err := workload.TPCHQuery(name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := plan.Compile(q)
+		if err != nil {
+			return nil, err
+		}
+		qe, err := est.EstimateQuery(d)
+		if err != nil {
+			return nil, err
+		}
+		byName[name] = qe
+	}
+	rng := sim.New(cfg.Seed ^ 0xfa017)
+	var items []item
+	clock := 0.0
+	for r := 0; r < rounds; r++ {
+		for _, name := range names {
+			clock += -meanGapSec * math.Log(1-rng.Float64())
+			items = append(items, item{
+				est:     byName[name],
+				arrival: clock,
+				name:    fmt.Sprintf("%s-r%d", name, r),
+				seed:    cfg.Seed ^ uint64(len(items))*0x9e3779b97f4a7c15,
+			})
+		}
+	}
+
+	var pred cluster.TaskTimePredictor = cluster.ConstantPredictor(1)
+	if a != nil {
+		pred = a.Tasks
+	}
+	run := func(cc cluster.Config) (*cluster.Results, error) {
+		s := cluster.New(cc, sched.Instrument(pol, cfg.Observer)).SetObserver(cfg.Observer)
+		for _, it := range items {
+			cq := cluster.BuildQuery(it.name, it.est, defaultCostModel(it.seed), pred)
+			s.Submit(cq, it.arrival)
+		}
+		return s.Run()
+	}
+
+	clean := cfg.Cluster
+	clean.Faults = nil
+	cres, err := run(clean)
+	if err != nil {
+		return nil, fmt.Errorf("saqp: fault replay clean run: %w", err)
+	}
+	faulted := cfg.Cluster
+	faulted.Faults = fp
+	fres, err := run(faulted)
+	if err != nil {
+		return nil, fmt.Errorf("saqp: fault replay faulted run: %w", err)
+	}
+
+	out := &FaultReplayResult{
+		Scheduler:        scheduler,
+		Queries:          len(items),
+		Completed:        fres.Completed,
+		Failed:           fres.Failed,
+		CleanP50Sec:      cres.PercentileResponse(0.50),
+		CleanP99Sec:      cres.PercentileResponse(0.99),
+		FaultP50Sec:      fres.PercentileResponse(0.50),
+		FaultP99Sec:      fres.PercentileResponse(0.99),
+		CleanMakespanSec: cres.Makespan,
+		FaultMakespanSec: fres.Makespan,
+		Faults:           fres.Faults,
+	}
+	if out.Queries > 0 {
+		out.CompletionRate = float64(out.Completed) / float64(out.Queries)
+	}
+	if out.CleanP50Sec > 0 {
+		out.P50Inflation = out.FaultP50Sec / out.CleanP50Sec
+	}
+	if out.CleanP99Sec > 0 {
+		out.P99Inflation = out.FaultP99Sec / out.CleanP99Sec
+	}
+	return out, nil
 }

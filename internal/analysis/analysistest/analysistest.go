@@ -1,21 +1,3 @@
-// Package analysistest runs an analyzer over a golden fixture package
-// and compares its diagnostics against `// want` expectations embedded
-// in the fixture source — a stdlib-only miniature of
-// golang.org/x/tools/go/analysis/analysistest.
-//
-// Fixture layout mirrors x/tools convention:
-//
-//	internal/analysis/<name>/testdata/src/a/a.go
-//
-// Expectations are trailing comments on the line the diagnostic must
-// land on, holding one or more quoted regular expressions:
-//
-//	t := time.Now() // want `reads the wall clock`
-//
-// Every diagnostic must be matched by an expectation on its line and
-// every expectation must match a diagnostic; anything else fails the
-// test. Because analysis.RunUnscoped applies //lint:allow suppressions,
-// fixtures can also assert that a suppressed line yields nothing.
 package analysistest
 
 import (

@@ -1,10 +1,3 @@
-// Package determinism forbids sources of nondeterminism in the
-// simulated-execution packages. The paper's results (IS/FS selectivity,
-// Eq. 1–6; the time models of Eq. 8–9; SWRD schedules, Eq. 10) are only
-// reproducible because every experiment is a pure function of its seed:
-// a single wall-clock read or global-RNG draw in a sim path silently
-// decouples repeated runs, and a map-iteration-ordered result makes
-// schedules differ between executions of the same binary.
 package determinism
 
 import (
@@ -35,6 +28,8 @@ var forbiddenImports = map[string]bool{
 	"math/rand/v2": true,
 }
 
+// Analyzer flags wall-clock reads and global randomness in simulated
+// code paths.
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbids wall-clock reads (time.Now/Since/...), math/rand, and " +
@@ -55,6 +50,10 @@ var Analyzer = &analysis.Analyzer{
 		// snapshots; wall-clock timeouts live in the root facade, outside
 		// this scope, precisely so the engine itself stays clock-free.
 		"saqp/internal/serve",
+		// Fault plans promise byte-identical expansion and failure
+		// decisions for equal specs; any entropy here would break the
+		// seeded-replay guarantee.
+		"saqp/internal/fault",
 	},
 	Run: run,
 }

@@ -1,0 +1,8 @@
+// Package determinism forbids sources of nondeterminism in the
+// simulated-execution packages. The paper's results (IS/FS selectivity,
+// Eq. 1–6; the time models of Eq. 8–9; SWRD schedules, Eq. 10) are only
+// reproducible because every experiment is a pure function of its seed:
+// a single wall-clock read or global-RNG draw in a sim path silently
+// decouples repeated runs, and a map-iteration-ordered result makes
+// schedules differ between executions of the same binary.
+package determinism

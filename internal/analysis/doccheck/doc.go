@@ -1,0 +1,15 @@
+// Package doccheck enforces the repository's documentation contract:
+// every package carries a package comment and every exported symbol in
+// non-test files carries a doc comment. The reproduction is navigated
+// through godoc — each package comment names the paper section it
+// implements and states its determinism contract — so an undocumented
+// export is a hole in the paper-to-code map, not a style nit. A
+// reviewed exception stays visible in the source via
+// //lint:allow saqpvet/doccheck and a reason.
+//
+// The rules follow godoc's association model: a doc comment on a
+// grouped const/var/type declaration covers every spec in the group, a
+// spec-level doc comment covers that spec (trailing line comments don't
+// count, matching golint), and a method is exported only when its
+// receiver's base type is too.
+package doccheck

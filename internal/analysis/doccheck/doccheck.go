@@ -1,0 +1,135 @@
+package doccheck
+
+import (
+	"go/ast"
+	"sort"
+
+	"saqp/internal/analysis"
+)
+
+// Analyzer enforces package comments and doc comments on exported
+// symbols.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccheck",
+	Doc: "flags packages without a package comment and exported symbols " +
+		"without doc comments in non-test files",
+	Scope: []string{"saqp"},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkPackageComment(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGenDecl(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPackageComment requires a package comment on at least one file
+// of the package; the finding lands on the first file by name so the
+// diagnostic position is stable across load orders.
+func checkPackageComment(pass *analysis.Pass) {
+	if len(pass.Files) == 0 {
+		return
+	}
+	files := make([]*ast.File, len(pass.Files))
+	copy(files, pass.Files)
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Package).Filename <
+			pass.Fset.Position(files[j].Package).Filename
+	})
+	for _, f := range files {
+		if f.Doc != nil {
+			return
+		}
+	}
+	pass.Reportf(files[0].Package,
+		"package %s has no package comment (add a doc.go or document one file's package clause)",
+		files[0].Name.Name)
+}
+
+// checkFunc flags an undocumented exported function or method. A method
+// counts as exported only when its receiver's base type name is also
+// exported: an exported method on an unexported type never surfaces in
+// godoc on its own.
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if d.Doc != nil || !ast.IsExported(d.Name.Name) {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		kind = "method"
+	}
+	pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+}
+
+// receiverTypeName unwraps a method receiver to its base type name,
+// looking through pointers and type-parameter instantiations.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkGenDecl flags undocumented exported names in type, const and var
+// declarations. A doc comment on the declaration covers every spec in a
+// grouped form; otherwise each spec needs its own leading doc comment
+// (trailing line comments don't count, matching golint's rule).
+func checkGenDecl(pass *analysis.Pass, d *ast.GenDecl) {
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Doc != nil || !ast.IsExported(s.Name.Name) {
+				continue
+			}
+			pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+		case *ast.ValueSpec:
+			if s.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if ast.IsExported(name.Name) {
+					pass.Reportf(name.Pos(), "exported %s %s has no doc comment",
+						kindOf(d), name.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+func kindOf(d *ast.GenDecl) string {
+	if d.Tok.String() == "const" {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,23 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/analysistest"
+	"saqp/internal/analysis/doccheck"
+)
+
+func TestDoccheck(t *testing.T) {
+	analysistest.Run(t, doccheck.Analyzer, "testdata/src/a")
+}
+
+func TestScope(t *testing.T) {
+	for _, path := range []string{"saqp", "saqp/internal/cluster", "saqp/cmd/saqp"} {
+		if !doccheck.Analyzer.AppliesTo(path) {
+			t.Errorf("doccheck should apply to %s", path)
+		}
+	}
+	if doccheck.Analyzer.AppliesTo("example.com/other") {
+		t.Error("doccheck should not apply outside the module")
+	}
+}

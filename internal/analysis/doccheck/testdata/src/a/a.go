@@ -1,0 +1,49 @@
+package a // want `package a has no package comment`
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {} // want `exported function Undocumented has no doc comment`
+
+func unexported() {}
+
+// T carries the method cases.
+type T struct{}
+
+// Documented methods are fine.
+func (T) Good() {}
+
+func (t *T) Bad() {} // want `exported method Bad has no doc comment`
+
+type hidden struct{}
+
+// An exported method on an unexported type never surfaces in godoc.
+func (hidden) Exported() {}
+
+type U struct{} // want `exported type U has no doc comment`
+
+// A group doc covers every spec inside.
+const (
+	GroupA = 1
+	GroupB = 2
+)
+
+const (
+	// Solo is documented at the spec.
+	Solo = 3
+	Bare = 4 // want `exported const Bare has no doc comment`
+)
+
+var Loose = 5 // want `exported var Loose has no doc comment`
+
+// Named is documented at the spec.
+var Named = 6
+
+var quiet = 7
+
+//lint:allow saqpvet/doccheck fixture exercises the escape hatch
+func Excused() {}
+
+var _ = unexported
+var _ = quiet
+var _ = hidden{}

@@ -1,15 +1,3 @@
-// Package errdrop flags discarded error return values in non-test
-// internal code: bare call statements whose callee returns an error,
-// and assignments that send an error result to the blank identifier. A
-// swallowed error in the corpus builder or persistence layer turns a
-// hard failure into silently-wrong training data — the config-drift
-// failure mode described in the Rizvandi et al. line of work — so every
-// discard must be either handled or visibly excused with
-// //lint:allow saqpvet/errdrop and a reason.
-//
-// Well-known never-fails APIs are excluded to keep the signal clean:
-// fmt.Print*, strings.Builder, bytes.Buffer and hash.Hash writes are
-// documented to never return a non-nil error.
 package errdrop
 
 import (
@@ -20,6 +8,7 @@ import (
 	"saqp/internal/analysis"
 )
 
+// Analyzer flags silently discarded error return values.
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
 	Doc: "flags discarded error results (`_ = f()` and bare `f()` statements) " +

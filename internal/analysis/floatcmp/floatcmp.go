@@ -1,13 +1,3 @@
-// Package floatcmp flags exact equality comparisons between
-// floating-point operands in the estimation and prediction packages.
-// Selectivities, histogram bucket boundaries and fitted model
-// coefficients all accumulate rounding error; `==` on such values makes
-// behaviour depend on the exact association order of float operations,
-// which is precisely the kind of silent drift that corrupts the
-// regression models the paper fits. Callers should use
-// saqp/internal/core.ApproxEqual with an explicit tolerance, or add a
-// reviewed //lint:allow saqpvet/floatcmp suppression where exactness is
-// genuinely intended (e.g. a bit-identical sentinel).
 package floatcmp
 
 import (
@@ -18,6 +8,7 @@ import (
 	"saqp/internal/analysis"
 )
 
+// Analyzer flags exact equality comparisons on floating-point operands.
 var Analyzer = &analysis.Analyzer{
 	Name: "floatcmp",
 	Doc: "flags == and != on float32/float64 operands in the estimator and " +

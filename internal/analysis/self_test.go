@@ -6,6 +6,7 @@ import (
 
 	"saqp/internal/analysis"
 	"saqp/internal/analysis/determinism"
+	"saqp/internal/analysis/doccheck"
 	"saqp/internal/analysis/errdrop"
 	"saqp/internal/analysis/floatcmp"
 	"saqp/internal/analysis/lockcheck"
@@ -39,6 +40,7 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 	suite := []*analysis.Analyzer{
 		determinism.Analyzer,
+		doccheck.Analyzer,
 		floatcmp.Analyzer,
 		lockcheck.Analyzer,
 		errdrop.Analyzer,

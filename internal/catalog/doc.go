@@ -1,0 +1,13 @@
+// Package catalog maintains the offline table statistics that the paper's
+// selectivity estimator consumes: row counts, average tuple widths,
+// per-column distinct cardinalities, physical clustering flags, and
+// equi-width histograms (Section 3.1: "Off-line histograms are built for
+// the attributes of the input table ... and stored on HDFS").
+//
+// Statistics come from two paths that must agree in expectation:
+//
+//   - Collect scans a materialised relation — ground truth at laptop scale,
+//     used by tests to validate the synthetic path;
+//   - FromSchema derives statistics analytically from a schema at any scale
+//     factor — how 100 GB+ experiments get statistics without 100 GB of RAM.
+package catalog

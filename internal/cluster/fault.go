@@ -1,0 +1,329 @@
+package cluster
+
+// Fault-recovery machinery for the simulator: transient task failures with
+// capped re-execution and deterministic backoff, node crashes with timed
+// recovery, and blacklisting of nodes that host repeated failures — the
+// Hadoop 1.x JobTracker behaviours (mapred.map.max.attempts,
+// mapred.max.tracker.failures, heartbeat-loss expiry) driven by an
+// internal/fault.Plan. All of it is dormant when Config.Faults is nil: the
+// event kinds are never scheduled and every epoch stays zero, so a
+// fault-free run is byte-identical to the pre-fault simulator.
+
+import "fmt"
+
+// TaskFailedError reports a query abandoned because one task exhausted its
+// attempt cap under fault injection. It is carried on Query.Err and
+// surfaces through the serving layer's Ticket.Wait.
+type TaskFailedError struct {
+	Query    string
+	Job      string
+	Reduce   bool
+	Index    int
+	Attempts int
+}
+
+// Error formats the failure with its full task identity.
+func (e *TaskFailedError) Error() string {
+	phase := "map"
+	if e.Reduce {
+		phase = "reduce"
+	}
+	return fmt.Sprintf("cluster: query %s failed: %s %s task %d exhausted %d attempts",
+		e.Query, e.Job, phase, e.Index, e.Attempts)
+}
+
+// FaultStats tallies injected-fault recovery activity over one run.
+type FaultStats struct {
+	// TaskFailures counts transient attempt failures (FAILED attempts).
+	TaskFailures int
+	// TaskRetries counts task re-executions scheduled after a failure or
+	// crash kill (KILLED attempts re-queue immediately).
+	TaskRetries int
+	// NodeCrashes and NodeRecoveries count outage windows applied.
+	NodeCrashes    int
+	NodeRecoveries int
+	// NodesBlacklisted counts nodes excluded after repeated failures.
+	NodesBlacklisted int
+	// SpeculativeCancels counts losing attempts of speculative races
+	// cancelled when the winner finished.
+	SpeculativeCancels int
+	// QueryFailures counts queries abandoned at the attempt cap.
+	QueryFailures int
+}
+
+// effFactor is the node's speed multiplier at the current sim time: the
+// configured NodeFactor scaled by any active slowdown window.
+func (s *Sim) effFactor(node int) float64 {
+	f := s.factors[node]
+	if s.fplan != nil {
+		f *= s.fplan.SlowFactor(node, s.now)
+	}
+	return f
+}
+
+// releaseSlot returns a slot to its free pool unless its node is down or
+// blacklisted, in which case the slot is withheld until recovery (crashed
+// nodes re-add their full slot set on recovery; blacklisted nodes never
+// return).
+func (s *Sim) releaseSlot(slot int, reduce bool) {
+	n := s.nodeOf(slot, reduce)
+	if s.down[n] || s.blacklisted[n] {
+		return
+	}
+	if reduce {
+		s.redFree = append(s.redFree, slot)
+	} else {
+		s.mapFree = append(s.mapFree, slot)
+	}
+}
+
+// refund returns the unspent portion of a cancelled attempt's pre-charged
+// busy time.
+func (s *Sim) refund(scheduledEnd float64) {
+	if scheduledEnd > s.now {
+		s.busySec -= scheduledEnd - s.now
+	}
+}
+
+// requeueTask puts a lost (crash-killed or retry-eligible) task back in
+// its job's pending queue, restoring its WRD contribution.
+func (s *Sim) requeueTask(t *Task) {
+	t.State = TaskPending
+	t.StartTime = 0
+	t.origDead = false
+	j := t.Job
+	if t.Reduce {
+		j.pendingReds++
+	} else {
+		j.pendingMaps++
+	}
+	j.Query.remainingWRD += t.PredSec
+	s.fstats.TaskRetries++
+	s.obs.TaskRetryScheduled()
+}
+
+// taskFail handles a transient attempt failure scheduled by the fault
+// plan: the slot is released (the burn window was already charged), the
+// hosting node's failure count may trip the blacklist, and the task backs
+// off before retrying — or, at the attempt cap, fails its whole query.
+func (s *Sim) taskFail(e *event) {
+	t := e.task
+	if e.epoch != t.epochO || t.State != TaskRunning {
+		return
+	}
+	j := t.Job
+	t.epochO++
+	t.failures++
+	t.faulted = true
+	j.Query.Faulted = true
+	s.fstats.TaskFailures++
+	node := t.node
+	s.nodeFails[node]++
+	backoff := s.fplan.Backoff(t.failures)
+	s.obs.TaskFailed(s.now, t.StartTime, j.Query.ID, j.ID, j.Type.String(), t.Reduce,
+		t.Index, node, e.slot, t.Attempts, backoff)
+	if !s.blacklisted[node] && s.nodeFails[node] >= s.fplan.BlacklistAfter() &&
+		s.canBlacklist() {
+		s.blacklistNode(node)
+	}
+	s.releaseSlot(e.slot, t.Reduce)
+	if t.speculating {
+		// A duplicate attempt is still running elsewhere; the task
+		// survives on it and no retry is needed unless that dies too.
+		t.origDead = true
+		return
+	}
+	if t.failures >= s.fplan.MaxAttempts() {
+		s.failQuery(j.Query, t)
+		return
+	}
+	t.State = TaskWaiting
+	t.StartTime = 0
+	s.seq++
+	s.events.push(&event{time: s.now + backoff, kind: evRetry, seq: s.seq,
+		task: t, epoch: t.epochO})
+}
+
+// retryTask moves a backed-off task back to pending once its delay ends.
+func (s *Sim) retryTask(e *event) {
+	t := e.task
+	if e.epoch != t.epochO || t.State != TaskWaiting || t.Job.Query.Failed() {
+		return
+	}
+	s.requeueTask(t)
+}
+
+// canBlacklist enforces Hadoop's cluster-wide cap: at most half the
+// nodes may be blacklisted, so a long faulty run degrades instead of
+// starving outright.
+func (s *Sim) canBlacklist() bool {
+	count := 0
+	for _, b := range s.blacklisted {
+		if b {
+			count++
+		}
+	}
+	return 2*(count+1) <= s.cfg.Nodes
+}
+
+// blacklistNode permanently excludes a node from scheduling: free slots
+// leave the pools now, running attempts finish but their slots are
+// withheld by releaseSlot.
+func (s *Sim) blacklistNode(node int) {
+	s.blacklisted[node] = true
+	s.fstats.NodesBlacklisted++
+	s.dropNodeSlots(node)
+	s.obs.NodeBlacklisted(s.now, node, s.nodeFails[node])
+}
+
+// dropNodeSlots removes a node's free slots from both pools.
+func (s *Sim) dropNodeSlots(node int) {
+	keep := func(pool []int, reduce bool) []int {
+		out := pool[:0]
+		for _, slot := range pool {
+			if s.nodeOf(slot, reduce) != node {
+				out = append(out, slot)
+			}
+		}
+		return out
+	}
+	s.mapFree = keep(s.mapFree, false)
+	s.redFree = keep(s.redFree, true)
+}
+
+// crashNode takes a node down: its free slots leave the pools and every
+// attempt it hosts is killed. Killed original attempts re-queue
+// immediately without burning a failure (Hadoop marks them KILLED, not
+// FAILED); a killed original whose speculative duplicate survives
+// elsewhere just hands the task over to the duplicate, and vice versa.
+func (s *Sim) crashNode(node int) {
+	if s.down[node] {
+		return
+	}
+	s.down[node] = true
+	s.fstats.NodeCrashes++
+	s.dropNodeSlots(node)
+	killed := 0
+	for _, j := range s.active {
+		// Hoarding reduces occupy slots without a finish event; kill and
+		// re-queue the ones on this node.
+		var keepHoard []*Task
+		for _, r := range j.hoarding {
+			if s.nodeOf(r.slot, true) != node {
+				keepHoard = append(keepHoard, r)
+				continue
+			}
+			s.busySec += s.now - r.StartTime
+			s.hoarded--
+			killed++
+			r.faulted = true
+			j.Query.Faulted = true
+			s.requeueTask(r)
+		}
+		j.hoarding = keepHoard
+		// Hoarders on this node were re-queued above (now TaskPending), so
+		// every remaining running attempt here has a scheduled event.
+		for _, t := range append(append([]*Task{}, j.Maps...), j.Reds...) {
+			if t.State != TaskRunning {
+				continue
+			}
+			if !t.origDead && t.node == node {
+				t.epochO++
+				s.refund(t.origEnd)
+				killed++
+				t.faulted = true
+				j.Query.Faulted = true
+				if t.speculating {
+					t.origDead = true
+				} else {
+					s.requeueTask(t)
+				}
+			}
+			if t.speculating && t.specNode == node {
+				t.epochS++
+				t.speculating = false
+				s.refund(t.specEnd)
+				killed++
+				t.faulted = true
+				j.Query.Faulted = true
+				if t.origDead {
+					s.requeueTask(t)
+				}
+			}
+		}
+	}
+	s.obs.NodeCrashed(s.now, node, killed)
+}
+
+// recoverNode brings a crashed node back. Every attempt it hosted was
+// killed at crash time, so the full slot set returns free — unless the
+// node was also blacklisted, in which case it stays out.
+func (s *Sim) recoverNode(node int) {
+	if !s.down[node] {
+		return
+	}
+	s.down[node] = false
+	s.fstats.NodeRecoveries++
+	s.obs.NodeRecovered(s.now, node)
+	if s.blacklisted[node] {
+		return
+	}
+	for k := 0; k < s.cfg.MapSlotsPerNode; k++ {
+		s.mapFree = append(s.mapFree, node*s.cfg.MapSlotsPerNode+k)
+	}
+	for k := 0; k < s.cfg.ReduceSlotsPerNode; k++ {
+		s.redFree = append(s.redFree, node*s.cfg.ReduceSlotsPerNode+k)
+	}
+}
+
+// failQuery abandons a query whose task exhausted the attempt cap: every
+// live attempt is cancelled, hoarded slots are released, and the query's
+// jobs leave the active set. The typed error lands on Query.Err and the
+// run continues with the remaining queries.
+func (s *Sim) failQuery(q *Query, t *Task) {
+	q.Err = &TaskFailedError{
+		Query: q.ID, Job: t.Job.ID, Reduce: t.Reduce,
+		Index: t.Index, Attempts: t.failures,
+	}
+	q.DoneTime = s.now
+	q.Faulted = true
+	q.remainingWRD = 0
+	s.fstats.QueryFailures++
+	s.terminal++
+	s.obs.QueryFailed(s.now, q.ArrivalTime, q.ID, q.Err.Error())
+	for _, j := range q.Jobs {
+		for _, r := range j.hoarding {
+			s.busySec += s.now - r.StartTime
+			s.hoarded--
+			s.releaseSlot(r.slot, true)
+			r.State = TaskPending
+		}
+		j.hoarding = nil
+		for _, tt := range append(append([]*Task{}, j.Maps...), j.Reds...) {
+			switch tt.State {
+			case TaskRunning:
+				if !tt.origDead {
+					tt.epochO++
+					s.refund(tt.origEnd)
+					s.releaseSlot(tt.slot, tt.Reduce)
+				}
+				if tt.speculating {
+					tt.epochS++
+					tt.speculating = false
+					s.refund(tt.specEnd)
+					s.releaseSlot(tt.specSlot, tt.Reduce)
+				}
+				tt.State = TaskPending
+			case TaskWaiting:
+				tt.epochO++
+				tt.State = TaskPending
+			}
+		}
+		for i, a := range s.active {
+			if a == j {
+				s.active = append(s.active[:i], s.active[i+1:]...)
+				break
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 
+	"saqp/internal/fault"
 	"saqp/internal/obs"
 )
 
@@ -46,10 +47,21 @@ type Config struct {
 	// reduce slots, preventing relaunch ping-pong.
 	PreemptiveReduce bool
 	// SpeculativeExecution enables Hadoop-style straggler mitigation: when
-	// slots would otherwise idle, the slowest running attempt is duplicated
-	// on a free slot and the task completes with whichever attempt finishes
-	// first. Off by default, as on the paper's testbed configuration.
+	// slots would otherwise idle, a running attempt whose projected
+	// completion lags the median of its job's phase is duplicated on a free
+	// slot; the task completes with whichever attempt finishes first and
+	// the loser is cancelled immediately. Off by default, as on the paper's
+	// testbed configuration.
 	SpeculativeExecution bool
+	// Faults optionally injects deterministic node crashes, slowdown
+	// windows and transient task failures into the run (see
+	// internal/fault). Nil — the default — and a zero-spec plan leave the
+	// schedule byte-identical to a fault-free run.
+	Faults *fault.Plan
+	// FaultSalt perturbs the plan's per-task failure decisions without
+	// changing its node windows; the serving layer re-rolls it across
+	// query retries so a retry is not doomed to the identical failure.
+	FaultSalt uint64
 }
 
 // DefaultConfig mirrors the paper's 9-node, 12-container testbed.
@@ -115,9 +127,15 @@ type event struct {
 	seq int
 
 	query *Query // arrival
-	task  *Task  // finish
+	task  *Task  // finish, fail, retry
 	slot  int    // slot of the finishing attempt
 	spec  bool   // the attempt was a speculative duplicate
+	// epoch must match the task's attempt epoch for the event to apply;
+	// cancelled and crash-killed attempts bump the epoch, turning their
+	// scheduled events into no-ops.
+	epoch int
+	// node targets crash/recover events.
+	node int
 }
 
 type eventKind uint8
@@ -125,7 +143,11 @@ type eventKind uint8
 const (
 	evArrival eventKind = iota
 	evFinish
-	evWake // a job finished initialising; re-run dispatch
+	evWake     // a job finished initialising; re-run dispatch
+	evTaskFail // a running attempt fails transiently (fault plan)
+	evRetry    // a failed task's backoff expired; re-queue it
+	evCrash    // a node goes down, killing its attempts
+	evRecover  // a crashed node rejoins with all slots free
 )
 
 type eventHeap []*event
@@ -165,6 +187,14 @@ type Sim struct {
 	busySec  float64
 	slotsTot int
 	hoarded  int // reduce slots held by not-yet-runnable reduces
+
+	// Fault-injection state (dormant while fplan is nil).
+	fplan       *fault.Plan
+	down        []bool // node is inside a crash window
+	blacklisted []bool // node excluded after repeated failures
+	nodeFails   []int  // transient failures hosted per node
+	fstats      FaultStats
+	terminal    int // queries completed or failed; Run stops at len(queries)
 }
 
 // New builds a simulator with the given cluster config and scheduler.
@@ -188,6 +218,24 @@ func New(cfg Config, sched Scheduler) *Sim {
 		}
 	}
 	s.slotsTot = len(s.mapFree) + len(s.redFree)
+	s.down = make([]bool, cfg.Nodes)
+	s.blacklisted = make([]bool, cfg.Nodes)
+	s.nodeFails = make([]int, cfg.Nodes)
+	s.fplan = cfg.Faults
+	if s.fplan != nil {
+		// The plan's node windows were expanded at construction; book them
+		// as events now so the run replays them deterministically. Windows
+		// for nodes beyond this cluster are ignored.
+		for _, w := range s.fplan.Crashes() {
+			if w.Node >= cfg.Nodes {
+				continue
+			}
+			s.seq++
+			s.events.push(&event{time: w.Start, kind: evCrash, seq: s.seq, node: w.Node})
+			s.seq++
+			s.events.push(&event{time: w.End, kind: evRecover, seq: s.seq, node: w.Node})
+		}
+	}
 	return s
 }
 
@@ -202,6 +250,9 @@ func (s *Sim) SetObserver(o *obs.Observer) *Sim {
 	if o != nil {
 		o.RunStarted(s.sched.Name())
 		o.ClusterInfo(s.cfg.Nodes, s.cfg.MapSlotsPerNode, s.cfg.ReduceSlotsPerNode)
+		if s.fplan != nil {
+			o.FaultDomain(s.cfg.Nodes)
+		}
 	}
 	return s
 }
@@ -237,6 +288,13 @@ type Results struct {
 	// Utilization is busy slot-seconds / (slots × makespan). Hoarded
 	// reduce slots count as busy — they are unavailable to other tasks.
 	Utilization float64
+	// Completed and Failed partition the queries by terminal state; Failed
+	// is nonzero only under a fault plan, and each failed query carries a
+	// *TaskFailedError on Query.Err.
+	Completed int
+	Failed    int
+	// Faults tallies injected-fault recovery activity during the run.
+	Faults FaultStats
 }
 
 // AvgResponseTime returns the mean query response time.
@@ -301,18 +359,40 @@ func (s *Sim) RunContext(ctx context.Context) (*Results, error) {
 		case evArrival:
 			s.arrive(e.query)
 		case evFinish:
-			s.finish(e.task, e.slot, e.spec)
+			s.finish(e)
 		case evWake:
 			// no state change; jobs become ready by time passing
+		case evTaskFail:
+			s.taskFail(e)
+		case evRetry:
+			s.retryTask(e)
+		case evCrash:
+			s.crashNode(e.node)
+		case evRecover:
+			s.recoverNode(e.node)
 		}
 		s.dispatch()
+		// Stop once every query reached a terminal state: trailing fault
+		// events (a crash window after the last completion) must not
+		// stretch the makespan.
+		if len(s.queries) > 0 && s.terminal == len(s.queries) {
+			break
+		}
 	}
 	for _, q := range s.queries {
-		if !q.Done() {
+		if !q.Done() && !q.Failed() {
 			return nil, fmt.Errorf("cluster: query %s did not complete (starvation?)", q.ID)
 		}
 	}
-	res := &Results{SchedulerName: s.sched.Name(), Makespan: s.now, Queries: s.queries}
+	res := &Results{SchedulerName: s.sched.Name(), Makespan: s.now, Queries: s.queries,
+		Faults: s.fstats}
+	for _, q := range s.queries {
+		if q.Failed() {
+			res.Failed++
+		} else {
+			res.Completed++
+		}
+	}
 	if s.now > 0 {
 		res.Utilization = s.busySec / (float64(s.slotsTot) * s.now)
 	}
@@ -385,17 +465,47 @@ func (s *Sim) reduceLaunchAllowed(j *Job) bool {
 
 // finish completes a task attempt, frees its slot, and cascades job/query
 // completion (submitting dependents). With speculative execution a task can
-// have two attempts; the second completion only frees its slot.
-func (s *Sim) finish(t *Task, slot int, spec bool) {
-	j := t.Job
-	if t.State == TaskDone {
-		// A slower duplicate attempt finished after the task completed.
-		if t.Reduce {
-			s.redFree = append(s.redFree, slot)
-		} else {
-			s.mapFree = append(s.mapFree, slot)
+// have two attempts racing; the first completion wins and the losing
+// attempt is cancelled on the spot — its slot frees immediately and its
+// pre-charged busy time is refunded, so duplicated work is never
+// double-counted.
+func (s *Sim) finish(e *event) {
+	t, slot, spec := e.task, e.slot, e.spec
+	if spec {
+		if e.epoch != t.epochS {
+			return // the duplicate was cancelled or crash-killed
 		}
+	} else if e.epoch != t.epochO {
+		return // the original was cancelled, killed or failed
+	}
+	j := t.Job
+	if t.State != TaskRunning {
+		// Unreachable with epoch versioning; release defensively.
+		s.releaseSlot(slot, t.Reduce)
 		return
+	}
+	if spec {
+		t.epochS++
+		t.speculating = false
+		if !t.origDead {
+			// The original loses the race: cancel it now.
+			t.epochO++
+			s.refund(t.origEnd)
+			s.releaseSlot(t.slot, t.Reduce)
+			s.fstats.SpeculativeCancels++
+			s.obs.SpeculativeCanceled(s.now, j.Query.ID, j.ID, t.Reduce, t.Index, t.slot)
+		}
+	} else {
+		t.epochO++
+		if t.speculating {
+			// The duplicate loses: cancel it now.
+			t.epochS++
+			t.speculating = false
+			s.refund(t.specEnd)
+			s.releaseSlot(t.specSlot, t.Reduce)
+			s.fstats.SpeculativeCancels++
+			s.obs.SpeculativeCanceled(s.now, j.Query.ID, j.ID, t.Reduce, t.Index, t.specSlot)
+		}
 	}
 	t.State = TaskDone
 	t.EndTime = s.now
@@ -405,13 +515,12 @@ func (s *Sim) finish(t *Task, slot int, spec bool) {
 		start = t.specStart
 	}
 	s.obs.TaskFinished(s.now, start, j.Query.ID, j.ID, j.Type.String(), t.Reduce,
-		t.Index, s.nodeOf(slot, t.Reduce), slot, t.PredSec, spec)
+		t.Index, s.nodeOf(slot, t.Reduce), slot, t.PredSec, spec, t.faulted)
+	s.releaseSlot(slot, t.Reduce)
 	if t.Reduce {
 		j.doneReds++
-		s.redFree = append(s.redFree, slot)
 	} else {
 		j.doneMaps++
-		s.mapFree = append(s.mapFree, slot)
 		// The map phase just completed: hoarding reduces (launched early,
 		// waiting for shuffle input) can now run to completion.
 		if j.MapsDone() {
@@ -462,17 +571,38 @@ func (s *Sim) finish(t *Task, slot int, spec bool) {
 	}
 	if q.Done() {
 		q.DoneTime = s.now
+		s.terminal++
 		s.obs.QueryFinished(s.now, q.ArrivalTime, q.ID)
 	}
 }
 
 // scheduleFinish books the completion event for a running task, charging
-// the node speed factor and dispatch overhead.
+// the node speed factor (including any active slowdown window) and
+// dispatch overhead. Under a fault plan the attempt may instead be booked
+// to fail partway through: the slot burns for the failure fraction of the
+// attempt's duration, then taskFail takes over.
 func (s *Sim) scheduleFinish(t *Task) {
-	dur := t.ActualSec/s.factors[t.node] + s.cfg.SchedulingOverheadSec
-	s.busySec += dur
+	t.Attempts++
+	factor := s.effFactor(t.node)
+	if s.fplan != nil && factor != s.factors[t.node] {
+		t.faulted = true
+		t.Job.Query.Faulted = true
+		s.obs.SlowdownDispatch()
+	}
+	dur := t.ActualSec/factor + s.cfg.SchedulingOverheadSec
 	s.seq++
-	s.events.push(&event{time: s.now + dur, kind: evFinish, seq: s.seq, task: t, slot: t.slot})
+	if fail, frac := s.fplan.TaskFailure(s.cfg.FaultSalt, t.Job.ID, t.Reduce, t.Index, t.Attempts); fail {
+		burn := frac * dur
+		s.busySec += burn
+		t.origEnd = s.now + burn
+		s.events.push(&event{time: t.origEnd, kind: evTaskFail, seq: s.seq,
+			task: t, slot: t.slot, epoch: t.epochO})
+		return
+	}
+	s.busySec += dur
+	t.origEnd = s.now + dur
+	s.events.push(&event{time: t.origEnd, kind: evFinish, seq: s.seq,
+		task: t, slot: t.slot, epoch: t.epochO})
 }
 
 // dispatch assigns runnable tasks to free slots until the scheduler
@@ -522,9 +652,12 @@ func (s *Sim) dispatch() {
 	}
 }
 
-// speculate duplicates the slowest running attempt of the given phase onto
-// otherwise-idle slots. The duplicate's completion event races the
-// original's; whichever fires first finishes the task.
+// speculate duplicates straggling attempts of the given phase onto
+// otherwise-idle slots, Hadoop-style: a running task qualifies only when
+// its projected completion lags the median completion of its job's phase
+// (over started tasks), the slowest qualifier is cloned first, and the
+// clone's completion event races the original's — whichever fires first
+// finishes the task and the loser is cancelled.
 func (s *Sim) speculate(reduce bool, pool *[]int) {
 	for len(*pool) > 0 {
 		var victim *Task
@@ -534,16 +667,29 @@ func (s *Sim) speculate(reduce bool, pool *[]int) {
 			if reduce {
 				tasks = j.Reds
 			}
+			if reduce && !j.MapsDone() {
+				continue // hoarding reduces cannot be sped up by a copy
+			}
+			// Median projected completion over this phase's started tasks:
+			// done tasks contribute their end, running ones the earliest
+			// scheduled end of their live attempts.
+			var ends []float64
 			for _, t := range tasks {
-				if t.State != TaskRunning || t.speculating {
+				switch t.State {
+				case TaskDone:
+					ends = append(ends, t.EndTime)
+				case TaskRunning:
+					ends = append(ends, s.projectedEnd(t))
+				}
+			}
+			med := median(ends)
+			for _, t := range tasks {
+				if t.State != TaskRunning || t.speculating || t.origDead {
 					continue
 				}
-				if reduce && !j.MapsDone() {
-					continue // hoarding reduces cannot be sped up by a copy
-				}
-				end := t.StartTime + t.ActualSec/s.factors[t.node]
-				if end <= s.now {
-					continue
+				end := t.origEnd
+				if end <= s.now || end <= med {
+					continue // on pace with its siblings: not a straggler
 				}
 				if victim == nil || end > victimEnd {
 					victim = t
@@ -560,20 +706,51 @@ func (s *Sim) speculate(reduce bool, pool *[]int) {
 		if n == victim.node && s.cfg.Nodes > 1 {
 			return
 		}
-		dur := victim.ActualSec/s.factors[n] + s.cfg.SchedulingOverheadSec
+		dur := victim.ActualSec/s.effFactor(n) + s.cfg.SchedulingOverheadSec
 		if s.now+dur >= victimEnd {
 			return // the copy would lose the race; don't waste the slot
 		}
 		*pool = (*pool)[:len(*pool)-1]
 		victim.speculating = true
 		victim.specStart = s.now
+		victim.specNode = n
+		victim.specSlot = slot
+		victim.specEnd = s.now + dur
 		s.busySec += dur
 		s.seq++
-		s.events.push(&event{time: s.now + dur, kind: evFinish, seq: s.seq,
-			task: victim, slot: slot, spec: true})
+		s.events.push(&event{time: victim.specEnd, kind: evFinish, seq: s.seq,
+			task: victim, slot: slot, spec: true, epoch: victim.epochS})
 		s.obs.SpeculativeLaunched(s.now, victim.Job.Query.ID, victim.Job.ID,
 			reduce, victim.Index, victim.node, slot)
 	}
+}
+
+// projectedEnd is the earliest scheduled completion among a running task's
+// live attempts.
+func (s *Sim) projectedEnd(t *Task) float64 {
+	switch {
+	case t.origDead:
+		return t.specEnd
+	case t.speculating && t.specEnd < t.origEnd:
+		return t.specEnd
+	default:
+		return t.origEnd
+	}
+}
+
+// median returns the middle value of xs (mean of the two middles for even
+// lengths), or +Inf when empty so nothing qualifies as lagging it.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(1)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // preemptForRunnableReduce implements [30]-style preemption: when no reduce
@@ -624,7 +801,7 @@ func (s *Sim) preemptForRunnableReduce() bool {
 	owner.pendingReds++
 	owner.Query.remainingWRD += victim.PredSec
 	s.hoarded--
-	s.redFree = append(s.redFree, victim.slot)
+	s.releaseSlot(victim.slot, true)
 	return true
 }
 

@@ -1,15 +1,3 @@
-// Package cluster is a discrete-event simulator of a Hadoop 1.x cluster:
-// nodes with fixed container slots execute the map and reduce tasks of
-// MapReduce jobs, jobs belong to query DAGs and are submitted when their
-// dependencies complete (Hive's JobListener behaviour, paper Section 2.2),
-// and a pluggable Scheduler decides which pending task each freed container
-// runs next.
-//
-// The simulator replaces the paper's physical 9-node testbed. Task
-// durations come from the hidden trace.CostModel; per-task predicted times
-// (from the paper's multivariate model) ride along so semantics-aware
-// schedulers can compute Weighted Resource Demand without seeing the
-// ground truth.
 package cluster
 
 import (
@@ -30,6 +18,9 @@ const (
 	TaskRunning
 	// TaskDone tasks have finished.
 	TaskDone
+	// TaskWaiting tasks failed transiently and sit out a deterministic
+	// backoff before re-entering the pending queue.
+	TaskWaiting
 )
 
 // Task is one map or reduce task.
@@ -50,6 +41,9 @@ type Task struct {
 	// Speculated records that the task was completed by a speculative
 	// duplicate attempt rather than its original.
 	Speculated bool
+	// Attempts counts executing attempts of this task (1 on a clean run);
+	// crash-killed attempts count, hoard-only slot occupancy does not.
+	Attempts int
 
 	// node is the hosting node index, set at dispatch.
 	node int
@@ -61,7 +55,33 @@ type Task struct {
 	// specStart is when the duplicate attempt launched (valid while
 	// speculating).
 	specStart float64
+	// specNode and specSlot locate the duplicate attempt; specEnd is its
+	// scheduled completion (valid while speculating).
+	specNode, specSlot int
+	specEnd            float64
+	// origEnd is the scheduled completion (or failure) time of the
+	// original attempt currently running.
+	origEnd float64
+	// origDead marks that the original attempt was lost (transient
+	// failure or crash) while a speculative duplicate is still running.
+	origDead bool
+	// epochO and epochS version the original and speculative attempts; a
+	// scheduled event whose epoch no longer matches is stale and ignored,
+	// which is how cancelled or crash-killed attempts are invalidated
+	// without scanning the event heap.
+	epochO, epochS int
+	// failures counts transient failures charged against the attempt cap.
+	failures int
+	// faulted marks a task whose runtime was perturbed by injected faults
+	// (failed attempt, crash kill, or dispatch into a slowdown window).
+	faulted bool
 }
+
+// Faulted reports whether injected faults perturbed this task's runtime.
+func (t *Task) Faulted() bool { return t.faulted }
+
+// Failures returns how many transient failures the task has suffered.
+func (t *Task) Failures() int { return t.failures }
 
 // Job is one MapReduce job inside a query.
 type Job struct {
@@ -163,8 +183,20 @@ type Query struct {
 	ArrivalTime float64
 	DoneTime    float64
 
+	// Err is non-nil when the query permanently failed — a task exhausted
+	// its attempt cap under an injected fault plan. It is always a
+	// *TaskFailedError. DoneTime then records the abandonment time.
+	Err error
+	// Faulted reports that injected faults touched at least one of the
+	// query's tasks; drift samples from such queries are recorded in
+	// separate "/faulted" buckets.
+	Faulted bool
+
 	remainingWRD float64
 }
+
+// Failed reports whether the query was abandoned under fault injection.
+func (q *Query) Failed() bool { return q.Err != nil }
 
 // ResponseTime returns completion minus arrival, or -1 if unfinished.
 func (q *Query) ResponseTime() float64 {

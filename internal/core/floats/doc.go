@@ -1,0 +1,6 @@
+// Package floats holds dependency-free floating-point helpers for the
+// whole estimation stack. It is a leaf package (imports only math) so
+// that histogram, selectivity, predict and trace — which sit *below*
+// internal/core in the import graph — can use ApproxEqual without a
+// cycle; internal/core re-exports it for callers above.
+package floats

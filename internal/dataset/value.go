@@ -1,15 +1,3 @@
-// Package dataset defines relational schemas and deterministic synthetic
-// data generators modelled on the TPC-H and TPC-DS benchmarks used by the
-// paper's evaluation (Section 5.1). Real benchmark kits and hundreds of
-// gigabytes of data are unavailable in this environment, so the package
-// reproduces what the paper's techniques actually consume:
-//
-//   - per-table row counts as a function of scale factor,
-//   - per-column distinct cardinalities, widths and value distributions
-//     (uniform, Zipf-skewed, clustered, sequential),
-//   - primary-key/foreign-key referential integrity, and
-//   - laptop-scale materialised relations for ground-truth execution in
-//     the in-memory MapReduce engine.
 package dataset
 
 import (

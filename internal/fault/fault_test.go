@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	spec := DefaultSpec(42)
+	a, b := NewPlan(spec), NewPlan(spec)
+	if !reflect.DeepEqual(a.Crashes(), b.Crashes()) {
+		t.Errorf("crash windows differ across identical specs:\n%v\nvs\n%v", a.Crashes(), b.Crashes())
+	}
+	if !reflect.DeepEqual(a.Slowdowns(), b.Slowdowns()) {
+		t.Errorf("slowdown windows differ across identical specs:\n%v\nvs\n%v", a.Slowdowns(), b.Slowdowns())
+	}
+	for attempt := 1; attempt <= 4; attempt++ {
+		fa, xa := a.TaskFailure(7, "q1/J1", true, 3, attempt)
+		fb, xb := b.TaskFailure(7, "q1/J1", true, 3, attempt)
+		if fa != fb || xa != xb {
+			t.Fatalf("TaskFailure not deterministic at attempt %d", attempt)
+		}
+	}
+}
+
+func TestSeedChangesPlan(t *testing.T) {
+	a := NewPlan(DefaultSpec(1))
+	b := NewPlan(DefaultSpec(2))
+	if reflect.DeepEqual(a.Crashes(), b.Crashes()) && reflect.DeepEqual(a.Slowdowns(), b.Slowdowns()) {
+		t.Error("different seeds produced identical window sets")
+	}
+}
+
+func TestZeroSpecInjectsNothing(t *testing.T) {
+	p := NewPlan(Spec{Seed: 99})
+	if len(p.Crashes()) != 0 || len(p.Slowdowns()) != 0 {
+		t.Fatalf("zero spec produced windows: %v %v", p.Crashes(), p.Slowdowns())
+	}
+	for i := 0; i < 100; i++ {
+		if fail, _ := p.TaskFailure(0, "q/J1", false, i, 1); fail {
+			t.Fatal("zero spec produced a task failure")
+		}
+	}
+	if p.SlowFactor(0, 100) != 1 {
+		t.Fatal("zero spec slowed a node")
+	}
+}
+
+func TestNilPlanIsSafe(t *testing.T) {
+	var p *Plan
+	if fail, _ := p.TaskFailure(0, "q/J1", false, 0, 1); fail {
+		t.Fatal("nil plan failed a task")
+	}
+	if p.SlowFactor(3, 10) != 1 {
+		t.Fatal("nil plan slowed a node")
+	}
+	if p.MaxAttempts() != 0 || p.BlacklistAfter() != 0 || p.Backoff(1) != 0 {
+		t.Fatal("nil plan returned non-zero recovery knobs")
+	}
+	if p.Crashes() != nil || p.Slowdowns() != nil || (p.Spec() != Spec{}) {
+		t.Fatal("nil plan returned non-empty state")
+	}
+}
+
+func TestTaskFailureRespectsProbability(t *testing.T) {
+	p := NewPlan(Spec{Seed: 5, TaskFailProb: 0.1})
+	fails := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		fail, frac := p.TaskFailure(0, "q/J1", false, i, 1)
+		if fail {
+			fails++
+			if frac < 0.1 || frac >= 0.9 {
+				t.Fatalf("failure fraction %v outside [0.1, 0.9)", frac)
+			}
+		}
+	}
+	got := float64(fails) / n
+	if got < 0.07 || got > 0.13 {
+		t.Errorf("empirical failure rate %v, want ~0.1", got)
+	}
+}
+
+func TestTaskFailureSaltIndependence(t *testing.T) {
+	// The serving layer re-rolls retries by salting; most decisions must
+	// actually change across salts or retrying a doomed query is pointless.
+	p := NewPlan(Spec{Seed: 5, TaskFailProb: 0.5})
+	changed := 0
+	for i := 0; i < 1000; i++ {
+		a, _ := p.TaskFailure(0, "q/J1", false, i, 1)
+		b, _ := p.TaskFailure(1, "q/J1", false, i, 1)
+		if a != b {
+			changed++
+		}
+	}
+	if changed < 300 {
+		t.Errorf("only %d/1000 decisions changed across salts", changed)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := NewPlan(Spec{BackoffBaseSec: 10, BackoffCapSec: 80})
+	want := []float64{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDefaultsNormalized(t *testing.T) {
+	s := NewPlan(Spec{}).Spec()
+	if s.MaxAttempts != 4 || s.BlacklistAfter != 3 || s.BackoffBaseSec != 10 ||
+		s.BackoffCapSec != 80 || s.HorizonSec != 3600 {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+}
+
+func TestWindowsInsideHorizon(t *testing.T) {
+	p := NewPlan(Spec{Seed: 3, Nodes: 50, HorizonSec: 1000, CrashProb: 0.5, SlowProb: 0.5})
+	for _, w := range p.Crashes() {
+		if w.Start < 0 || w.Start >= 1000 || w.End <= w.Start || w.Factor != 0 {
+			t.Errorf("bad crash window %+v", w)
+		}
+	}
+	for _, w := range p.Slowdowns() {
+		if w.Start < 0 || w.Start >= 1000 || w.End <= w.Start || w.Factor <= 0 || w.Factor > 1 {
+			t.Errorf("bad slowdown window %+v", w)
+		}
+	}
+}

@@ -1,14 +1,3 @@
-// Package histogram implements the equi-width histograms with per-bucket
-// distinct counts that the paper builds offline over table attributes
-// (Section 3.1, citing Piatetsky-Shapiro & Connell for predicate
-// selectivity and Bell et al. for the piece-wise-uniform join estimator of
-// Eq. 5). Within a bucket, values are assumed uniformly distributed over
-// the bucket's distinct values — the paper's "piece-wise uniform"
-// assumption.
-//
-// Counts are float64: histograms double as *estimated* distributions that
-// get scaled and filtered as statistics propagate along a query DAG, where
-// fractional row masses are meaningful.
 package histogram
 
 import (

@@ -1,12 +1,3 @@
-// Package mapreduce is an in-memory MapReduce engine that actually executes
-// compiled query DAGs over materialised relations: map tasks filter and
-// project in parallel, Groupby jobs run per-map combines, the shuffle
-// hash-partitions by key, and reduce tasks join, aggregate or sort.
-//
-// In the paper this role is played by the Hadoop cluster itself. The engine
-// exists so that selectivity estimates can be validated against *measured*
-// intermediate and output sizes (|Med|, |Out|) rather than against the
-// estimator's own assumptions, and so examples run real queries end to end.
 package mapreduce
 
 import (

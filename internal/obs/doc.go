@@ -1,0 +1,20 @@
+// Package obs is the reproduction's deterministic observability layer:
+// a metrics registry (Prometheus text exposition + JSON snapshots), a
+// Chrome trace-event sink for query→job→task lifecycles and scheduler
+// decisions, and a prediction-drift recorder that accumulates
+// predicted-vs-simulated error per job category — the live equivalent of
+// the paper's Tables 3–5.
+//
+// The layer is deterministic by construction: every timestamp comes from
+// the cluster simulator's virtual clock (float64 seconds threaded
+// through each hook), never the wall clock, and every serialisation
+// orders keys, so a fixed workload and seed produce byte-identical
+// traces, metrics and drift snapshots across runs. The package is
+// dependency-free (standard library only) and sits at the bottom of the
+// import graph, so cluster, sched, and the facade all instrument through
+// it without cycles.
+//
+// A nil *Observer is valid everywhere: every hook is a method on the
+// pointer receiver that returns immediately, so uninstrumented hot paths
+// pay one nil check and allocate nothing.
+package obs

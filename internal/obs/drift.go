@@ -73,10 +73,16 @@ func (a *driftAgg) record(pred, actual float64) {
 }
 
 // RecordJob adds one job-level (predicted, simulated) seconds pair under
-// the operator category ("Extract", "Groupby", "Join").
-func (d *DriftRecorder) RecordJob(category string, predSec, actualSec float64) {
+// the operator category ("Extract", "Groupby", "Join"). Samples from
+// fault-perturbed runs are kept in a separate "<category>/faulted" bucket:
+// the models are fit on clean runs, so mixing faulted samples in would
+// hide exactly the drift fault injection exists to measure.
+func (d *DriftRecorder) RecordJob(category string, predSec, actualSec float64, faulted bool) {
 	if d == nil {
 		return
+	}
+	if faulted {
+		category += "/faulted"
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -84,14 +90,18 @@ func (d *DriftRecorder) RecordJob(category string, predSec, actualSec float64) {
 }
 
 // RecordTask adds one task-level pair; map and reduce phases are
-// distinct categories ("Join/map", "Join/reduce", ...).
-func (d *DriftRecorder) RecordTask(category string, reduce bool, predSec, actualSec float64) {
+// distinct categories ("Join/map", "Join/reduce", ...), and samples from
+// fault-perturbed tasks land in "<category>/<phase>/faulted" buckets.
+func (d *DriftRecorder) RecordTask(category string, reduce bool, predSec, actualSec float64, faulted bool) {
 	if d == nil {
 		return
 	}
 	key := category + "/map"
 	if reduce {
 		key = category + "/reduce"
+	}
+	if faulted {
+		key += "/faulted"
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -1,0 +1,153 @@
+package obs
+
+// Fault-injection instrumentation: the cluster simulator reports injected
+// faults and its recovery machinery here (internal/fault supplies the
+// plans), and the serving engine reports query-level retries. Node-scoped
+// events (crash, recover, blacklist) land on the PidFaults trace process —
+// one thread per node — while task-scoped events (attempt failures,
+// cancelled speculative attempts) land on the slot track they occupied, so
+// a Perfetto timeline shows exactly which work each fault destroyed.
+
+// Fault metric names.
+const (
+	MTaskFailures       = "saqp_cluster_task_failures_total"
+	MTaskRetries        = "saqp_cluster_task_retries_total"
+	MNodeCrashes        = "saqp_cluster_node_crashes_total"
+	MNodeRecoveries     = "saqp_cluster_node_recoveries_total"
+	MNodeBlacklists     = "saqp_cluster_node_blacklists_total"
+	MSpeculativeCancels = "saqp_cluster_speculative_cancels_total"
+	MQueryFailures      = "saqp_cluster_query_failures_total"
+	MSlowDispatches     = "saqp_cluster_slowdown_dispatches_total"
+	MServeRetries       = "saqp_serve_retries_total"
+	MServeFaultFailures = "saqp_serve_fault_failures_total"
+)
+
+// FaultDomain names the fault trace tracks; the simulator calls it once
+// per run when an observer is attached and a fault plan is active.
+func (o *Observer) FaultDomain(nodes int) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	o.Trace.MetaProcessName(PidFaults, "faults")
+	for n := 0; n < nodes; n++ {
+		o.Trace.MetaThreadName(PidFaults, n, "node "+itoa(n))
+	}
+}
+
+// TaskFailed records a transient task-attempt failure: the attempt burned
+// its slot from start until now, then the task backs off for backoffSec
+// before re-queueing (or fails its query, reported via QueryFailed).
+func (o *Observer) TaskFailed(now, start float64, query, job, jobType string, reduce bool,
+	index, node, slot, attempt int, backoffSec float64) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MTaskFailures).Inc()
+	}
+	if o.Trace != nil {
+		pid := PidMapSlots
+		if reduce {
+			pid = PidReduceSlots
+		}
+		o.Trace.Complete(pid, slot, start, now, "FAIL "+taskName(job, reduce, index), "fault",
+			Arg{"query", query}, Arg{"type", jobType}, Arg{"node", node},
+			Arg{"attempt", attempt}, Arg{"backoff_sec", backoffSec})
+	}
+}
+
+// TaskRetryScheduled counts a failed task re-entering the pending queue
+// after its backoff expires (crash-killed attempts re-queue immediately
+// and are counted here too).
+func (o *Observer) TaskRetryScheduled() { o.counter(MTaskRetries) }
+
+// NodeCrashed records a node outage that killed the given number of
+// running attempts.
+func (o *Observer) NodeCrashed(now float64, node, killedAttempts int) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MNodeCrashes).Inc()
+	}
+	if o.Trace != nil {
+		o.Trace.Instant(PidFaults, node, now, "crash node "+itoa(node), "fault",
+			Arg{"killed_attempts", killedAttempts})
+	}
+}
+
+// NodeRecovered records a crashed node rejoining with all slots free.
+func (o *Observer) NodeRecovered(now float64, node int) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MNodeRecoveries).Inc()
+	}
+	if o.Trace != nil {
+		o.Trace.Instant(PidFaults, node, now, "recover node "+itoa(node), "fault")
+	}
+}
+
+// NodeBlacklisted records a node being excluded from scheduling after
+// hosting too many transient failures.
+func (o *Observer) NodeBlacklisted(now float64, node, failures int) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MNodeBlacklists).Inc()
+	}
+	if o.Trace != nil {
+		o.Trace.Instant(PidFaults, node, now, "blacklist node "+itoa(node), "fault",
+			Arg{"task_failures", failures})
+	}
+}
+
+// SpeculativeCanceled records the losing attempt of a speculative race
+// being cancelled the moment the winner finishes, freeing its slot.
+func (o *Observer) SpeculativeCanceled(now float64, query, job string, reduce bool,
+	index, slot int) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MSpeculativeCancels).Inc()
+	}
+	if o.Trace != nil {
+		pid := PidMapSlots
+		if reduce {
+			pid = PidReduceSlots
+		}
+		o.Trace.Instant(pid, slot, now, "cancel "+taskName(job, reduce, index), "fault",
+			Arg{"query", query})
+	}
+}
+
+// SlowdownDispatch counts a task dispatched onto a node inside one of the
+// plan's slowdown windows (it will run at a fraction of nominal speed).
+func (o *Observer) SlowdownDispatch() { o.counter(MSlowDispatches) }
+
+// QueryFailed records a query abandoned because one of its tasks exhausted
+// the attempt cap.
+func (o *Observer) QueryFailed(now, arrival float64, id, reason string) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MQueryFailures).Inc()
+	}
+	if o.Trace != nil {
+		pid := o.pidOf(id)
+		o.Trace.Complete(pid, 0, arrival, now, "FAILED query "+id, "fault",
+			Arg{"reason", reason})
+	}
+}
+
+// ServeRetried counts the serving engine re-running a fault-failed query
+// on a fresh pool simulator with a re-rolled fault salt.
+func (o *Observer) ServeRetried() { o.counter(MServeRetries) }
+
+// ServeFaultFailure counts a served query that still failed after the
+// engine's retry budget was exhausted.
+func (o *Observer) ServeFaultFailure() { o.counter(MServeFaultFailures) }

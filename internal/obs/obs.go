@@ -1,22 +1,3 @@
-// Package obs is the reproduction's deterministic observability layer:
-// a metrics registry (Prometheus text exposition + JSON snapshots), a
-// Chrome trace-event sink for query→job→task lifecycles and scheduler
-// decisions, and a prediction-drift recorder that accumulates
-// predicted-vs-simulated error per job category — the live equivalent of
-// the paper's Tables 3–5.
-//
-// The layer is deterministic by construction: every timestamp comes from
-// the cluster simulator's virtual clock (float64 seconds threaded
-// through each hook), never the wall clock, and every serialisation
-// orders keys, so a fixed workload and seed produce byte-identical
-// traces, metrics and drift snapshots across runs. The package is
-// dependency-free (standard library only) and sits at the bottom of the
-// import graph, so cluster, sched, and the facade all instrument through
-// it without cycles.
-//
-// A nil *Observer is valid everywhere: every hook is a method on the
-// pointer receiver that returns immediately, so uninstrumented hot paths
-// pay one nil check and allocate nothing.
 package obs
 
 import (
@@ -254,9 +235,11 @@ func (o *Observer) TaskStarted(now float64, query, job, jobType string, reduce b
 
 // TaskFinished records a task completion: the span on its slot track,
 // runtime metrics, and task-level prediction drift (predicted vs
-// observed slot occupancy).
+// observed slot occupancy). faulted marks tasks whose runtime was
+// perturbed by injected faults (failed attempts, crash kills, slowdown
+// windows); their drift samples land in separate "/faulted" buckets.
 func (o *Observer) TaskFinished(now, start float64, query, job, jobType string, reduce bool,
-	index, node, slot int, predSec float64, speculated bool) {
+	index, node, slot int, predSec float64, speculated, faulted bool) {
 	if o == nil {
 		return
 	}
@@ -269,7 +252,7 @@ func (o *Observer) TaskFinished(now, start float64, query, job, jobType string, 
 		o.Metrics.Histogram(MTaskRuntimeSec, nil).Observe(now - start)
 	}
 	if o.Drift != nil {
-		o.Drift.RecordTask(jobType, reduce, predSec, now-start)
+		o.Drift.RecordTask(jobType, reduce, predSec, now-start, faulted)
 	}
 	if o.Trace != nil {
 		pid := PidMapSlots

@@ -24,9 +24,9 @@ func replay(o *obs.Observer) {
 	o.TaskStarted(10, "q1", "q1/J1", "Join", true, 0, 1, 1, 8, true)
 	o.ReducePreempted(12, "q1", "q1/J1", 0, 1, 2)
 	o.SpeculativeLaunched(14, "q1", "q1/J1", false, 0, 0, 3)
-	o.TaskFinished(15, 10, "q1", "q1/J1", "Join", false, 0, 0, 0, 5, false)
+	o.TaskFinished(15, 10, "q1", "q1/J1", "Join", false, 0, 0, 0, 5, false, false)
 	o.ShuffleReady(15, "q1", "q1/J1", "Join", 1)
-	o.TaskFinished(24, 16, "q1", "q1/J1", "Join", true, 0, 1, 1, 8, true)
+	o.TaskFinished(24, 16, "q1", "q1/J1", "Join", true, 0, 1, 1, 8, true, false)
 	o.JobFinished(24, 0, "q1", "q1/J1", "Join")
 	o.SchedulerDecision(24, "SWRD", true, "", nil)
 	o.QueryFinished(24, 0, "q1")
@@ -172,9 +172,9 @@ func TestDriftSummary(t *testing.T) {
 	d := obs.NewDriftRecorder()
 	// predictions 9, 22 against actuals 10, 20:
 	// rel errors 0.1 and 0.1 → mean 0.1
-	d.RecordJob("Join", 9, 10)
-	d.RecordJob("Join", 22, 20)
-	d.RecordJob("Extract", 5, 0) // zero actual: excluded from MeanRelError
+	d.RecordJob("Join", 9, 10, false)
+	d.RecordJob("Join", 22, 20, false)
+	d.RecordJob("Extract", 5, 0, false) // zero actual: excluded from MeanRelError
 	s := d.Snapshot()
 	if len(s.Jobs) != 2 {
 		t.Fatalf("categories = %d, want 2", len(s.Jobs))

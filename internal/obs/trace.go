@@ -34,6 +34,9 @@ const (
 	PidMapSlots    = 1
 	PidReduceSlots = 2
 	PidScheduler   = 3
+	// PidFaults carries injected node-level fault events (crash, recover,
+	// blacklist), one thread per node.
+	PidFaults = 4
 	// pidQueryBase is the first per-query process id.
 	pidQueryBase = 100
 )

@@ -1,10 +1,3 @@
-// Package plan compiles resolved queries into directed acyclic graphs of
-// MapReduce jobs, mirroring how Hive produces physical execution plans
-// (paper Section 2): left-deep chains of Join jobs, a Groupby job for
-// aggregation, and Extract jobs for sorting/limits. The DAG carries the
-// query semantics — operators, predicates, projected columns, join keys —
-// that the paper's "cross-layer semantics percolation" forwards to the
-// scheduler.
 package plan
 
 import (

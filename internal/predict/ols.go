@@ -1,9 +1,3 @@
-// Package predict implements the paper's multivariate time prediction
-// (Section 4): ordinary least squares regression over the semantics-derived
-// features of Table 1, the job execution-time model of Eq. 8, the map/
-// reduce task-time models of Eq. 9, query-level prediction via the DAG's
-// critical path (Section 5.4), and the R²/average-error metrics of
-// Tables 3–5.
 package predict
 
 import (

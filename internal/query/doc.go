@@ -1,0 +1,9 @@
+// Package query defines the abstract syntax and a parser for the HiveQL
+// subset this reproduction compiles: single-block SELECT queries with
+// projections, aggregates, inner equi-joins, conjunctive predicates,
+// GROUP BY, ORDER BY and LIMIT — the shapes the paper's three job
+// categories (Extract, Groupby, Join) are compiled from.
+//
+// The parser exists so examples and the CLI can accept textual queries;
+// the workload generator constructs ASTs directly.
+package query

@@ -1,0 +1,15 @@
+// Package selectivity implements the paper's semantics-aware selectivity
+// estimation (Section 3): per-job Intermediate Selectivity (IS = D_med/D_in)
+// and Final Selectivity (FS = D_out/D_in) for the Extract, Groupby and Join
+// job categories, including
+//
+//   - predicate selectivity S_pred from equi-width histograms,
+//   - projection selectivity S_proj from column widths,
+//   - combine selectivity S_comb for Groupby (Eq. 2, clustered vs random),
+//   - join input mixing (Eq. 3) and the join balance ratio P (Eq. 7),
+//   - piece-wise-uniform join cardinality (Eq. 5),
+//   - natural-join chains with accumulated predicates (Eq. 6),
+//
+// and the propagation of data statistics along a query DAG so that a job's
+// estimates feed its downstream jobs.
+package selectivity

@@ -1,30 +1,3 @@
-// Package serve is the concurrent query-serving engine over the paper's
-// prediction stack: many goroutines submit HiveQL text, the engine
-// deduplicates compile+estimate work through a bounded single-flight LRU
-// cache (keyed by normalized SQL + catalog fingerprint), ranks admitted
-// queries by Weighted Resource Demand (paper Eq. 10) into an SWRD
-// admission queue, and dispatches them onto a pool of cluster
-// simulators. Submissions are cancellable via context.Context — a
-// canceled query is skipped if still queued and aborted mid-run if
-// already on a simulator — and Close drains gracefully: queued work
-// completes, then the pool exits.
-//
-// Keeping prediction on the hot admission path is the point (cf. Wu et
-// al. on query-time prediction and Rizvandi et al. on MapReduce CPU
-// regression): every admission decision consumes the semantics-aware
-// estimate, so the estimate must be cached and the models must be safe
-// under concurrent readers. The fitted models and the catalog are
-// immutable after construction, so the engine shares them across the
-// pool without locks; all mutable state (cache, queue, counters) is
-// guarded here.
-//
-// The engine is deterministic modulo goroutine interleaving: each
-// query's simulated run depends only on its submission seed, and every
-// metric recorded is a count or a simulated duration. Identical seeds
-// submitted in serialized order therefore reproduce byte-identical
-// metrics and drift snapshots (the package is in the determinism
-// analyzer's scope — no wall clock, no global RNG, no map-ordered
-// output).
 package serve
 
 import (
@@ -72,8 +45,16 @@ type Config struct {
 	// drift for every served query (the live Tables 3–5).
 	JobModel *predict.JobModel
 	// Cluster sizes each pool simulator; the zero value means the
-	// paper's 9-node default.
+	// paper's 9-node default. Setting Cluster.Faults replays every
+	// admitted query under that deterministic fault plan; the engine
+	// re-rolls Cluster.FaultSalt per submission seed and retry attempt so
+	// repeated runs of the same query see independent failure draws.
 	Cluster cluster.Config
+	// MaxRetries is how many times a fault-failed query (one that
+	// exhausted a task attempt cap) is re-run on a fresh pool simulator
+	// before its *cluster.TaskFailedError is delivered through
+	// Ticket.Wait. Only meaningful with Cluster.Faults set; default 0.
+	MaxRetries int
 	// Scheduler is the slot policy each pool simulator runs (required).
 	// The policies in internal/sched are stateless values, safe to
 	// share across the pool.
@@ -108,6 +89,10 @@ type Result struct {
 	SimSec float64
 	// Jobs, Maps and Reduces describe the executed plan.
 	Jobs, Maps, Reduces int
+	// Attempts counts simulator runs consumed (1 + fault retries).
+	Attempts int
+	// Faulted reports that injected faults perturbed the (final) run.
+	Faulted bool
 }
 
 // Ticket is a pending submission. Exactly one completion is delivered
@@ -160,6 +145,12 @@ type Stats struct {
 	Canceled  uint64 // submissions abandoned by context cancellation
 	Rejected  uint64 // submissions refused by a full queue
 	Errors    uint64 // compile/estimate/simulation failures
+
+	// Retries counts fault-failed queries re-run on a fresh simulator;
+	// FaultFailures counts queries still failed after the retry budget
+	// (each of those also counts once under Errors).
+	Retries       uint64
+	FaultFailures uint64
 
 	CacheHits      uint64
 	CacheMisses    uint64
@@ -218,7 +209,9 @@ func New(cfg Config) (*Engine, error) {
 		cfg.CacheSize = 256
 	}
 	if cfg.Cluster.Nodes <= 0 {
+		faults, salt := cfg.Cluster.Faults, cfg.Cluster.FaultSalt
 		cfg.Cluster = cluster.DefaultConfig()
+		cfg.Cluster.Faults, cfg.Cluster.FaultSalt = faults, salt
 	}
 	e := &Engine{cfg: cfg, cache: newPlanCache(cfg.CacheSize)}
 	e.cond = sync.NewCond(&e.mu)
@@ -388,7 +381,9 @@ func (e *Engine) next() *Ticket {
 }
 
 // run executes one ticket on a fresh pool simulator and delivers its
-// completion.
+// completion. Under a fault plan a query whose task exhausted its attempt
+// cap is retried up to MaxRetries times, each retry on a rebuilt query
+// and a re-salted plan, before the typed error is delivered.
 func (e *Engine) run(t *Ticket) {
 	if t.ctx != nil {
 		select {
@@ -398,36 +393,63 @@ func (e *Engine) run(t *Ticket) {
 		default:
 		}
 	}
-	cq := cluster.BuildQuery(t.id, t.est, trace.NewDefaultCostModel(t.seed), e.pred)
-	sim := cluster.New(e.cfg.Cluster, e.cfg.Scheduler)
-	sim.Submit(cq, 0)
 	ctx := t.ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if _, err := sim.RunContext(ctx); err != nil {
-		e.finish(t, Result{}, err)
-		return
+	maxRetries := e.cfg.MaxRetries
+	if e.cfg.Cluster.Faults == nil {
+		maxRetries = 0
 	}
-	if o := e.cfg.Observer; o != nil && o.Drift != nil && e.cfg.JobModel != nil {
-		for ji, je := range t.est.Jobs {
-			sj := cq.Jobs[ji]
-			if sj.DoneTime <= sj.SubmitTime {
+	for attempt := 0; ; attempt++ {
+		cq := cluster.BuildQuery(t.id, t.est, trace.NewDefaultCostModel(t.seed), e.pred)
+		scfg := e.cfg.Cluster
+		if scfg.Faults != nil {
+			// Decorrelate failure draws across submissions and retries
+			// while keeping each (sql, seed, attempt) run reproducible.
+			scfg.FaultSalt ^= t.seed ^ uint64(attempt)*0x9e3779b97f4a7c15
+		}
+		sim := cluster.New(scfg, e.cfg.Scheduler)
+		sim.Submit(cq, 0)
+		if _, err := sim.RunContext(ctx); err != nil {
+			e.finish(t, Result{}, err)
+			return
+		}
+		if cq.Failed() {
+			if attempt < maxRetries {
+				e.count(func(s *Stats) { s.Retries++ })
+				e.cfg.Observer.ServeRetried()
 				continue
 			}
-			o.Drift.RecordJob(je.Job.Type.String(), e.cfg.JobModel.PredictJob(je), sj.DoneTime-sj.SubmitTime)
+			e.count(func(s *Stats) { s.FaultFailures++ })
+			e.cfg.Observer.ServeFaultFailure()
+			e.finish(t, Result{}, fmt.Errorf("serve: query %s failed after %d run(s): %w",
+				t.id, attempt+1, cq.Err))
+			return
 		}
+		if o := e.cfg.Observer; o != nil && o.Drift != nil && e.cfg.JobModel != nil {
+			for ji, je := range t.est.Jobs {
+				sj := cq.Jobs[ji]
+				if sj.DoneTime <= sj.SubmitTime {
+					continue
+				}
+				o.Drift.RecordJob(je.Job.Type.String(), e.cfg.JobModel.PredictJob(je),
+					sj.DoneTime-sj.SubmitTime, cq.Faulted)
+			}
+		}
+		res := Result{
+			ID: t.id, SQL: t.sql, CacheHit: t.cacheHit,
+			WRD: t.wrd, PredictedSec: t.predSec,
+			SimSec: cq.ResponseTime(), Jobs: len(cq.Jobs),
+			Attempts: attempt + 1, Faulted: cq.Faulted,
+		}
+		for _, j := range cq.Jobs {
+			res.Maps += len(j.Maps)
+			res.Reduces += len(j.Reds)
+		}
+		e.finish(t, res, nil)
+		return
 	}
-	res := Result{
-		ID: t.id, SQL: t.sql, CacheHit: t.cacheHit,
-		WRD: t.wrd, PredictedSec: t.predSec,
-		SimSec: cq.ResponseTime(), Jobs: len(cq.Jobs),
-	}
-	for _, j := range cq.Jobs {
-		res.Maps += len(j.Maps)
-		res.Reduces += len(j.Reds)
-	}
-	e.finish(t, res, nil)
 }
 
 // finish delivers a ticket's completion exactly once and updates

@@ -1,15 +1,3 @@
-// Package trace is the reproduction's stand-in for the paper's physical
-// testbed: a hidden ground-truth cost model that assigns durations to map
-// and reduce tasks. The prediction framework never reads this model — it
-// must learn coefficients by regression over observed (features, time)
-// pairs, exactly as the paper trains on 5,647 jobs measured on its Hadoop
-// cluster.
-//
-// The model is deliberately NOT of the linear form the predictor fits
-// (Eq. 8/9): it has fixed startup overheads, separate disk/network/CPU
-// phases, an n·log(n) sort term in reduces, per-node speed variation and
-// multiplicative log-normal noise. Prediction error in the experiments is
-// therefore real model mismatch, not round-tripping.
 package trace
 
 import (

@@ -1,0 +1,6 @@
+// Package workload generates the query corpora the paper's evaluation
+// uses: a random pool of TPC-H/TPC-DS-shaped analytic queries for training
+// and testing the prediction models (Section 5.1: ~1,000 queries compiled
+// into ~5,600 jobs over 1–100 GB inputs), and the Bing/Facebook production
+// mixes of Table 2 with Poisson arrivals for the scheduler experiments.
+package workload

@@ -1,32 +1,3 @@
-// Package saqp is a from-scratch Go reproduction of "Semantics-Aware
-// Prediction for Analytic Queries in MapReduce Environment" (Yu, Liu, Ding;
-// ICPP'18 Companion): a framework that percolates query-level semantics
-// from a HiveQL-style compiler down to the MapReduce scheduler, estimates
-// per-job data selectivities from offline histograms, predicts job/task/
-// query execution times with multivariate linear models, and schedules
-// queries by Smallest Weighted Resource Demand (SWRD).
-//
-// The package is a facade over the internal subsystems:
-//
-//   - query/plan   — HiveQL subset parser and Hive-style DAG compiler
-//   - catalog      — offline table statistics and equi-width histograms
-//   - selectivity  — IS/FS estimation (paper Section 3, Eq. 1–7)
-//   - predict      — multivariate time models (Section 4, Eq. 8–10)
-//   - mapreduce    — a real in-memory MapReduce engine (ground truth)
-//   - cluster      — a discrete-event simulator of the 9-node testbed
-//   - sched        — HCS, HFS and SWRD scheduling policies
-//   - workload     — TPC-H/DS query generator and Table 2 workload mixes
-//
-// Typical use:
-//
-//	fw, _ := saqp.NewFramework(saqp.Options{ScaleFactor: 10})
-//	dag, _ := fw.Compile(`SELECT c_name, count(*) FROM customer
-//	                      JOIN orders ON o_custkey = c_custkey
-//	                      GROUP BY c_name`)
-//	est, _ := fw.Estimate(dag)      // per-job D_in/D_med/D_out, task counts
-//	fw.TrainDefault()               // fit Eq. 8/9 on a synthetic corpus
-//	secs := fw.PredictQuerySeconds(est)
-//	wrd := fw.WRD(est)              // Eq. 10 for SWRD scheduling
 package saqp
 
 import (
@@ -299,6 +270,15 @@ func (f *Framework) WRD(qe *QueryEstimate) (float64, error) {
 // ground-truth cost model seeded by seed; per-task predictions come from
 // the trained Eq. 9 task model, or a constant baseline before training.
 func (f *Framework) SimulateQuery(id string, qe *QueryEstimate, scheduler string, seed uint64) (float64, error) {
+	return f.SimulateQueryConfig(id, qe, scheduler, seed, cluster.DefaultConfig())
+}
+
+// SimulateQueryConfig is SimulateQuery on a caller-supplied cluster
+// config — the hook behind cmd/saqp's fault-injection flags: set
+// cc.Faults (and optionally cc.FaultSalt) to replay the query under a
+// deterministic fault plan. A failed query (task attempt cap exhausted
+// under the plan) returns its *TaskFailedError.
+func (f *Framework) SimulateQueryConfig(id string, qe *QueryEstimate, scheduler string, seed uint64, cc ClusterConfig) (float64, error) {
 	pol, err := schedulerByName(scheduler)
 	if err != nil {
 		return 0, err
@@ -309,15 +289,18 @@ func (f *Framework) SimulateQuery(id string, qe *QueryEstimate, scheduler string
 		pred = f.TaskTime
 	}
 	q := cluster.BuildQuery(id, qe, defaultCostModel(seed), pred)
-	sim := cluster.New(cluster.DefaultConfig(), sched.Instrument(pol, f.Obs)).SetObserver(f.Obs)
+	sim := cluster.New(cc, sched.Instrument(pol, f.Obs)).SetObserver(f.Obs)
 	sim.Submit(q, 0)
 	if _, err := sim.Run(); err != nil {
 		return 0, err
 	}
+	if q.Failed() {
+		return 0, q.Err
+	}
 	if f.Obs != nil && f.JobTime != nil {
 		for ji, je := range qe.Jobs {
 			sj := q.Jobs[ji]
-			f.Obs.Drift.RecordJob(je.Job.Type.String(), f.JobTime.PredictJob(je), sj.DoneTime-sj.SubmitTime)
+			f.Obs.Drift.RecordJob(je.Job.Type.String(), f.JobTime.PredictJob(je), sj.DoneTime-sj.SubmitTime, q.Faulted)
 		}
 	}
 	return q.ResponseTime(), nil

@@ -40,6 +40,11 @@ type ServerOptions struct {
 	// Scheduler names the slot policy each pool simulator runs — one of
 	// SchedulerNames(). Empty means SchedulerSWRD.
 	Scheduler string
+	// MaxRetries is how many times a query abandoned at the task attempt
+	// cap is re-run (on a re-salted fault plan) before its
+	// *TaskFailedError is delivered through Ticket.Wait. Only meaningful
+	// when Cluster.Faults is set. Default 0: fail on first abandonment.
+	MaxRetries int
 	// QueryTimeout, when positive, bounds each submission's wall-clock
 	// lifetime: Submit's context is wrapped with this deadline, so a
 	// stuck query is canceled rather than holding a pool worker.
@@ -81,6 +86,7 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 		Cluster:            opts.Cluster,
 		Scheduler:          pol,
 		Workers:            opts.Workers,
+		MaxRetries:         opts.MaxRetries,
 		CacheSize:          opts.CacheSize,
 		QueueCap:           opts.QueueCap,
 		Observer:           f.Obs,
