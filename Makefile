@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint fuzz-smoke stress cover-serve bench bench-serve bench-fault ci clean
+.PHONY: all build test race lint fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn ci clean
 
 all: build
 
@@ -69,6 +69,17 @@ bench-fault:
 	$(GO) run ./cmd/benchrunner -faults -fault-seed $(FAULT_SEED) \
 		-fault-min-completion 1 -bench-out bench-out -csv bench-out
 
+# Online-learning convergence replay: a seeded corpus fed one completed
+# query at a time into a cold model-lifecycle registry. Fails unless the
+# final challenger's average relative error stays within 10% of a batch
+# fit over the same samples; writes bench-out/BENCH_learn.json with the
+# error-vs-samples curve and the promotion sequence.
+LEARN_QUERIES ?= 120
+bench-learn:
+	@mkdir -p bench-out
+	$(GO) run ./cmd/benchrunner -learn -learn-queries $(LEARN_QUERIES) \
+		-learn-gate 1.10 -bench-out bench-out -csv bench-out
+
 # Regenerate the paper's tables and figures with full observability:
 # machine-readable BENCH_<exp>.json per experiment, a Perfetto-loadable
 # trace of the simulated runs (gzipped; Perfetto opens .json.gz
@@ -82,7 +93,7 @@ bench:
 	gzip -f -9 bench-out/runs.trace.json
 
 # Everything CI runs, in the same order.
-ci: build lint test race fuzz-smoke stress cover-serve bench-fault
+ci: build lint test race fuzz-smoke stress cover-serve bench-fault bench-learn
 
 clean:
 	rm -rf $(BIN) bench-out

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"saqp"
+)
+
+// learnConfig parameterizes the online-learning convergence benchmark.
+type learnConfig struct {
+	Queries    int     // replayed corpus size
+	Window     int     // promotion error-window length
+	MinSamples int     // challenger warm-up before the first promotion
+	Margin     float64 // challenger must beat champion by this fraction
+	PointEvery int     // job-sample stride between convergence points
+	Gate       float64 // CI gate: final challenger err ≤ batch err × Gate; 0 disables
+	Seed       uint64  // corpus seed
+}
+
+// learnReport is BENCH_learn.json: the convergence replay's outcome plus
+// the invocation's parameters. Every field except WallSeconds is
+// deterministic in the seed.
+type learnReport struct {
+	Experiment string  `json:"experiment"`
+	Seed       uint64  `json:"seed"`
+	Window     int     `json:"window"`
+	MinSamples int     `json:"min_samples"`
+	Margin     float64 `json:"margin"`
+	Gate       float64 `json:"gate"`
+
+	Result *saqp.LearnReplayResult `json:"result"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// learnBench replays a seeded corpus through a cold model-lifecycle
+// registry, prints the convergence curve and promotion sequence, writes
+// BENCH_learn.json, and enforces the challenger-vs-batch accuracy gate.
+func learnBench(lc learnConfig, benchDir, csvDir string) error {
+	fmt.Printf("Learning replay: %d queries (seed %d), window %d, min-samples %d, margin %.2f\n",
+		lc.Queries, lc.Seed, lc.Window, lc.MinSamples, lc.Margin)
+
+	begin := time.Now()
+	r, err := saqp.ReproduceLearningReplay(saqp.LearnReplayConfig{
+		Queries:       lc.Queries,
+		Seed:          lc.Seed,
+		Window:        lc.Window,
+		MinSamples:    lc.MinSamples,
+		PromoteMargin: lc.Margin,
+		PointEvery:    lc.PointEvery,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(begin).Seconds()
+
+	header("Learning Replay: online RLS convergence and champion promotion")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "queries\t%d (%d job samples, %d task samples)\n", r.Queries, r.JobSamples, r.TaskSamples)
+	fmt.Fprintf(w, "promotions\t%d (final model version %d)\n", len(r.Promotions), r.FinalVersion)
+	for _, p := range r.Promotions {
+		champ := "cold start"
+		if p.ChampionErr >= 0 {
+			champ = fmt.Sprintf("champion %.2f%%", 100*p.ChampionErr)
+		}
+		fmt.Fprintf(w, "  v%d\tat %d job samples (%s → challenger %.2f%%)\n",
+			p.Version, p.AtJobSamples, champ, 100*p.ChallengerErr)
+	}
+	fmt.Fprintf(w, "final challenger err\t%.2f%% over the full stream\n", 100*r.FinalChallengerErr)
+	fmt.Fprintf(w, "batch baseline err\t%.2f%% (same samples, offline fit)\n", 100*r.BatchErr)
+	w.Flush()
+
+	fmt.Println("\njob samples  version  challenger err over full stream")
+	rows := [][]string{{"job_samples", "version", "challenger_err"}}
+	for _, p := range r.Points {
+		fmt.Printf("%11d  %7d  %.4f\n", p.JobSamples, p.Version, p.ChallengerErr)
+		rows = append(rows, []string{fmt.Sprint(p.JobSamples), fmt.Sprint(p.Version), f2(p.ChallengerErr)})
+	}
+	if err := writeCSV(csvDir, "learn", rows); err != nil {
+		return err
+	}
+
+	if benchDir != "" {
+		rep := learnReport{
+			Experiment: "learn",
+			Seed:       lc.Seed,
+			Window:     lc.Window,
+			MinSamples: lc.MinSamples,
+			Margin:     lc.Margin,
+			Gate:       lc.Gate,
+			Result:     r,
+
+			WallSeconds: wall,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(benchDir, "BENCH_learn.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nWrote %s\n", path)
+	}
+
+	if lc.Gate > 0 && r.FinalChallengerErr > r.BatchErr*lc.Gate {
+		return fmt.Errorf("challenger error %.4f above gate %.4f (batch %.4f × %.2f)",
+			r.FinalChallengerErr, r.BatchErr*lc.Gate, r.BatchErr, lc.Gate)
+	}
+	return nil
+}

@@ -42,6 +42,14 @@ func main() {
 		faultMinComp = flag.Float64("fault-min-completion", 0, "faults: exit nonzero when the completion rate drops below this fraction (CI gate; 0 disables)")
 		faultSched   = flag.String("fault-sched", "SWRD", "faults: scheduler for both the clean and faulted replay")
 
+		learnMode       = flag.Bool("learn", false, "run the online-learning convergence benchmark instead of the paper experiments")
+		learnQueries    = flag.Int("learn-queries", 120, "learn: replayed corpus size")
+		learnWindow     = flag.Int("learn-window", 100, "learn: promotion error-window length")
+		learnMinSamples = flag.Int("learn-min-samples", 50, "learn: challenger warm-up before the first promotion")
+		learnMargin     = flag.Float64("learn-margin", 0.05, "learn: promotion margin (challenger must beat champion by this fraction)")
+		learnPointEvery = flag.Int("learn-point-every", 25, "learn: job-sample stride between convergence points")
+		learnGate       = flag.Float64("learn-gate", 1.10, "learn: exit nonzero when final challenger err exceeds batch err times this factor (CI gate; 0 disables)")
+
 		serveMode    = flag.Bool("serve", false, "run the concurrent serving benchmark instead of the paper experiments")
 		concurrency  = flag.Int("concurrency", 16, "serve: submitter goroutines")
 		qps          = flag.Float64("qps", 0, "serve: open-loop arrival rate in queries/sec (0 = closed-loop)")
@@ -71,6 +79,22 @@ func main() {
 			CorpusSeed:    *seed,
 		}
 		if err := faultBench(fc, *benchDir, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *learnMode {
+		lc := learnConfig{
+			Queries:    *learnQueries,
+			Window:     *learnWindow,
+			MinSamples: *learnMinSamples,
+			Margin:     *learnMargin,
+			PointEvery: *learnPointEvery,
+			Gate:       *learnGate,
+			Seed:       *seed,
+		}
+		if err := learnBench(lc, *benchDir, *csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

@@ -759,3 +759,167 @@ func ReproduceFaultReplay(a *TrainedArtifacts, cfg ExperimentConfig, fp *FaultPl
 	}
 	return out, nil
 }
+
+// ---------------------------------------------------------------------------
+// Learning replay: error-vs-samples convergence of the online registry
+// ---------------------------------------------------------------------------
+
+// LearnReplayConfig controls the online-learning convergence replay.
+type LearnReplayConfig struct {
+	// Queries sizes the replayed corpus. Default 120.
+	Queries int
+	// Seed drives corpus generation. Default 2018.
+	Seed uint64
+	// Window, MinSamples and PromoteMargin configure the registry; zero
+	// values take the registry defaults (100, 50, 0.05).
+	Window        int
+	MinSamples    int
+	PromoteMargin float64
+	// PointEvery is the job-sample stride between convergence points.
+	// Default 25.
+	PointEvery int
+	// Cluster sizes the simulated testbed the corpus executed on.
+	Cluster cluster.Config
+	// Observer receives saqp_learn_* metrics during the replay.
+	Observer *Observer
+}
+
+// LearnPoint is one error-vs-samples convergence measurement: the
+// challenger's average relative error over the full job-sample stream
+// after absorbing JobSamples observations.
+type LearnPoint struct {
+	JobSamples    int     `json:"job_samples"`
+	Version       int     `json:"version"`
+	ChallengerErr float64 `json:"challenger_err"`
+}
+
+// LearnReplayResult is the convergence replay's outcome. It carries no
+// wall-clock fields: for a fixed config the serialised result is
+// byte-identical across runs.
+type LearnReplayResult struct {
+	Queries     int          `json:"queries"`
+	JobSamples  int          `json:"job_samples"`
+	TaskSamples int          `json:"task_samples"`
+	Promotions  []Promotion  `json:"promotions"`
+	Points      []LearnPoint `json:"points"`
+	// FinalChallengerErr scores the fully-fed challenger job model over
+	// the whole stream; BatchErr scores a batch FitJobModel over the
+	// same samples. The CI gate requires the former within 10% of the
+	// latter (RLS through the shared solve path makes them equal up to
+	// per-operator fallback differences).
+	FinalChallengerErr float64 `json:"final_challenger_err"`
+	BatchErr           float64 `json:"batch_err"`
+	FinalVersion       int     `json:"final_version"`
+}
+
+// avgRelJobError scores a job model over samples with the paper's
+// average-relative-error metric.
+func avgRelJobError(jm *predict.JobModel, samples []predict.JobSample) float64 {
+	var sum float64
+	var n int
+	for _, s := range samples {
+		if s.Seconds <= 0 {
+			continue
+		}
+		sum += math.Abs(jm.PredictSample(s)-s.Seconds) / s.Seconds
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ReproduceLearningReplay replays a generated corpus through a cold
+// model-lifecycle registry, one completed run at a time, and reports
+// error-vs-samples convergence, the promotion sequence, and the final
+// challenger accuracy against a batch-trained baseline over the same
+// stream. Everything is derived from the seeded corpus — no wall clock
+// — so repeated runs produce byte-identical results.
+func ReproduceLearningReplay(cfg LearnReplayConfig) (*LearnReplayResult, error) {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 120
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2018
+	}
+	if cfg.PointEvery <= 0 {
+		cfg.PointEvery = 25
+	}
+	ccfg := workload.DefaultCorpusConfig()
+	ccfg.NumQueries = cfg.Queries
+	ccfg.Seed = cfg.Seed
+	if cfg.Cluster.Nodes > 0 {
+		ccfg.Cluster = cfg.Cluster
+	}
+	corpus, err := workload.BuildCorpus(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	reg := NewLearnerRegistry(LearnerConfig{
+		Window:        cfg.Window,
+		MinSamples:    cfg.MinSamples,
+		PromoteMargin: cfg.PromoteMargin,
+		Observer:      cfg.Observer,
+	})
+
+	res := &LearnReplayResult{Queries: len(corpus.Runs)}
+	nextPoint := cfg.PointEvery
+	for _, run := range corpus.Runs {
+		feedRunIntoLearner(reg, run)
+		for reg.JobSamples() >= nextPoint {
+			p := LearnPoint{JobSamples: nextPoint, Version: reg.Version()}
+			if jm := reg.ChallengerJobModel(); jm != nil {
+				p.ChallengerErr = avgRelJobError(jm, corpus.JobSamples)
+			}
+			res.Points = append(res.Points, p)
+			nextPoint += cfg.PointEvery
+		}
+	}
+	res.JobSamples = reg.JobSamples()
+	res.TaskSamples = reg.TaskSamples()
+	res.Promotions = reg.Promotions()
+	res.FinalVersion = reg.Version()
+	if jm := reg.ChallengerJobModel(); jm != nil {
+		res.FinalChallengerErr = avgRelJobError(jm, corpus.JobSamples)
+	}
+	batch, err := predict.FitJobModel(corpus.JobSamples)
+	if err != nil {
+		return nil, fmt.Errorf("saqp: learning replay batch baseline: %w", err)
+	}
+	res.BatchErr = avgRelJobError(batch, corpus.JobSamples)
+	return res, nil
+}
+
+// feedRunIntoLearner feeds one completed corpus run into the registry
+// the same way the offline corpus collects samples: the observed job
+// time with oracle (log-derived) features, plus a bounded number of
+// task observations per group.
+func feedRunIntoLearner(reg *Learner, run *workload.QueryRun) {
+	const perPhase = 16
+	for ji, je := range run.Oracle.Jobs {
+		sj := run.Sim.Jobs[ji]
+		if sec := sj.DoneTime - sj.SubmitTime; sec > 0 {
+			reg.ObserveJob(je.Job.Type, predict.JobFeatures(je), sec)
+		}
+		pf := je.PFactor()
+		idx := 0
+		for _, g := range je.MapGroups {
+			for i := 0; i < g.Count && i < perPhase; i++ {
+				reg.ObserveTask(je.Job.Type, false,
+					predict.TaskFeatures(je.Job.Type, g.InBytes, g.OutBytes, pf),
+					sj.Maps[idx+i].ActualSec)
+			}
+			idx += g.Count
+		}
+		idx = 0
+		for _, g := range je.ReduceGroups {
+			for i := 0; i < g.Count && i < perPhase; i++ {
+				reg.ObserveTask(je.Job.Type, true,
+					predict.TaskFeatures(je.Job.Type, g.InBytes, g.OutBytes, pf),
+					sj.Reds[idx+i].ActualSec)
+			}
+			idx += g.Count
+		}
+	}
+}

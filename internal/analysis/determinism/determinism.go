@@ -54,6 +54,11 @@ var Analyzer = &analysis.Analyzer{
 		// decisions for equal specs; any entropy here would break the
 		// seeded-replay guarantee.
 		"saqp/internal/fault",
+		// The model-lifecycle subsystem promises that promotion sequences
+		// are functions of the observed sample stream alone — versions,
+		// thresholds and error windows all count samples, never the clock,
+		// and per-operator iteration is sorted before any output.
+		"saqp/internal/learn",
 	},
 	Run: run,
 }

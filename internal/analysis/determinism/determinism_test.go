@@ -27,6 +27,8 @@ func TestScope(t *testing.T) {
 		"saqp/internal/workload",
 		"saqp/internal/obs",
 		"saqp/internal/serve",
+		"saqp/internal/fault",
+		"saqp/internal/learn",
 	} {
 		if !determinism.Analyzer.AppliesTo(pkg) {
 			t.Errorf("determinism should apply to %s", pkg)

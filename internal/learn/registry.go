@@ -1,0 +1,490 @@
+package learn
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+
+	"saqp/internal/obs"
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+)
+
+// Config assembles a Registry. The zero value is usable: a cold
+// registry with the default window, minimum-sample floor and promotion
+// margin, no seed champion, and no instrumentation.
+type Config struct {
+	// Window is the size of the trailing per-job relative-error windows
+	// the promotion rule compares. Default 100.
+	Window int
+	// MinSamples is how many job samples a cold registry (no champion)
+	// must absorb before it bootstraps the first champion. Default 50.
+	MinSamples int
+	// PromoteMargin is the relative improvement the challenger's full
+	// error window must show over the champion's before promotion:
+	// challenger < champion·(1−margin). Default 0.05.
+	PromoteMargin float64
+	// Observer receives saqp_learn_* metrics and promotion trace
+	// instants; nil disables instrumentation.
+	Observer *obs.Observer
+	// Champion and ChampionTasks, when both non-nil, seed the registry
+	// with a batch-trained serving champion at version 1; otherwise the
+	// registry starts cold and bootstraps its first champion from
+	// feedback once MinSamples have arrived.
+	Champion      *predict.JobModel
+	ChampionTasks *predict.TaskModel
+}
+
+// Promotion records one champion replacement. ChampionErr is −1 for the
+// cold-start bootstrap, where no champion existed to compare against.
+type Promotion struct {
+	Version       int     `json:"version"`
+	AtJobSamples  int     `json:"at_job_samples"`
+	ChampionErr   float64 `json:"champion_err"`
+	ChallengerErr float64 `json:"challenger_err"`
+}
+
+// Registry is the versioned model store with champion/challenger
+// semantics. The champion — a frozen JobModel/TaskModel pair — serves
+// predictions; challenger learners absorb every observed job and task
+// sample; when the challenger's windowed average relative error beats
+// the champion's by the configured margin, the registry atomically
+// promotes the challenger, bumps the version, and snapshots the retired
+// champion as a V2 predict persistence bundle.
+//
+// Every decision depends only on sample counts and error windows, never
+// on the wall clock, so identical feedback streams produce identical
+// promotion sequences. All methods are goroutine-safe.
+type Registry struct {
+	mu  sync.Mutex
+	cfg Config
+
+	version   int
+	champJob  *predict.JobModel
+	champTask *predict.TaskModel
+
+	jobPooled *Learner
+	jobPerOp  map[plan.JobType]*Learner
+	mapPooled *Learner
+	mapPerOp  map[plan.JobType]*Learner
+	redPooled *Learner
+	redPerOp  map[plan.JobType]*Learner
+
+	jobSamples  int
+	taskSamples int
+
+	champWin *window
+	challWin *window
+
+	promotions []Promotion
+	retired    [][]byte
+}
+
+// NewRegistry builds a registry from cfg, applying defaults for
+// unset fields.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.Window <= 0 {
+		cfg.Window = 100
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 50
+	}
+	if cfg.PromoteMargin <= 0 {
+		cfg.PromoteMargin = 0.05
+	}
+	r := &Registry{
+		cfg:       cfg,
+		jobPooled: NewLearner(Relative),
+		jobPerOp:  map[plan.JobType]*Learner{},
+		mapPooled: NewLearner(Relative),
+		mapPerOp:  map[plan.JobType]*Learner{},
+		redPooled: NewLearner(Relative),
+		redPerOp:  map[plan.JobType]*Learner{},
+		champWin:  newWindow(cfg.Window),
+		challWin:  newWindow(cfg.Window),
+	}
+	if cfg.Champion != nil && cfg.ChampionTasks != nil {
+		r.champJob, r.champTask = cfg.Champion, cfg.ChampionTasks
+		r.version = 1
+	}
+	return r
+}
+
+// ObserveJob feeds one completed job's observed execution time into the
+// registry: both error windows advance (the challenger is scored
+// prequentially, before absorbing the sample), the challenger learners
+// absorb it, and the promotion rule is evaluated. Non-positive observed
+// times are ignored.
+func (r *Registry) ObserveJob(op plan.JobType, features []float64, observedSec float64) {
+	if r == nil || observedSec <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.champJob != nil {
+		pred := r.champJob.PredictSample(predict.JobSample{Op: op, Features: features})
+		r.champWin.push(math.Abs(pred-observedSec) / observedSec)
+	}
+	if pred, ok := r.challengerPredictJobLocked(op, features); ok {
+		r.challWin.push(math.Abs(pred-observedSec) / observedSec)
+	}
+	r.absorbJobLocked(op, features, observedSec)
+	r.jobSamples++
+	r.cfg.Observer.LearnJobSample(r.champWin.meanOrNeg(), r.challWin.meanOrNeg())
+	if _, half, err := r.jobPooled.PredictWithInterval(features); err == nil && half > 0 {
+		r.cfg.Observer.LearnIntervalWidth(half)
+	}
+	r.maybePromoteLocked()
+}
+
+// ObserveTask feeds one completed task's observed time into the
+// challenger task learners. Task samples refine the promoted TaskModel
+// (WRD ranking, per-task predictions) but do not drive the promotion
+// rule, which compares job-level error. Non-positive times are ignored.
+func (r *Registry) ObserveTask(op plan.JobType, reduce bool, features []float64, observedSec float64) {
+	if r == nil || observedSec <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pooled, perOp := r.mapPooled, r.mapPerOp
+	if reduce {
+		pooled, perOp = r.redPooled, r.redPerOp
+	}
+	if err := pooled.Observe(features, observedSec); err != nil {
+		return
+	}
+	l := perOp[op]
+	if l == nil {
+		l = NewLearner(Relative)
+		perOp[op] = l
+	}
+	if err := l.Observe(features, observedSec); err != nil {
+		return
+	}
+	r.taskSamples++
+	r.cfg.Observer.LearnTaskSample()
+}
+
+// absorbJobLocked feeds a job sample into the pooled and per-operator
+// challenger learners.
+func (r *Registry) absorbJobLocked(op plan.JobType, features []float64, sec float64) {
+	if err := r.jobPooled.Observe(features, sec); err != nil {
+		return
+	}
+	l := r.jobPerOp[op]
+	if l == nil {
+		l = NewLearner(Relative)
+		r.jobPerOp[op] = l
+	}
+	if err := l.Observe(features, sec); err != nil {
+		return
+	}
+}
+
+// challengerPredictJobLocked scores features with the challenger's most
+// specific solvable model — per-operator first, pooled fallback — with
+// the same non-negativity clamp the champion's PredictSample applies.
+func (r *Registry) challengerPredictJobLocked(op plan.JobType, features []float64) (float64, bool) {
+	if l := r.jobPerOp[op]; l != nil {
+		if m, err := l.Model(); err == nil {
+			if y, perr := m.PredictChecked(features); perr == nil {
+				return math.Max(0, y), true
+			}
+		}
+	}
+	m, err := r.jobPooled.Model()
+	if err != nil {
+		return 0, false
+	}
+	y, err := m.PredictChecked(features)
+	if err != nil {
+		return 0, false
+	}
+	return math.Max(0, y), true
+}
+
+// maybePromoteLocked applies the promotion rule: a cold registry
+// bootstraps its first champion once MinSamples job samples have
+// arrived; afterwards the challenger must fill both error windows and
+// beat the champion's windowed mean by PromoteMargin.
+func (r *Registry) maybePromoteLocked() {
+	if r.champJob == nil {
+		if r.jobSamples < r.cfg.MinSamples {
+			return
+		}
+		r.promoteLocked(-1, r.challWin.meanOrNeg())
+		return
+	}
+	if !r.champWin.full() || !r.challWin.full() {
+		return
+	}
+	champ, chall := r.champWin.mean(), r.challWin.mean()
+	if chall < champ*(1-r.cfg.PromoteMargin) {
+		r.promoteLocked(champ, chall)
+	}
+}
+
+// promoteLocked replaces the champion with the challenger's current
+// solution: the retiring champion is snapshotted as a V2 bundle with
+// its lifecycle metadata, the version bumps, the promotion is recorded,
+// and both error windows reset so the next comparison starts fresh. A
+// challenger whose job model cannot be solved yet never promotes; a
+// challenger without solvable task learners carries the champion's
+// TaskModel forward.
+func (r *Registry) promoteLocked(champErr, challErr float64) {
+	jm, err := r.challengerJobLocked()
+	if err != nil {
+		return
+	}
+	tm := r.challengerTaskLocked()
+	if r.champJob != nil && r.champTask != nil {
+		meta := &predict.RegistryMeta{
+			ModelVersion: r.version,
+			Samples:      r.jobSamples,
+			ErrorWindow:  r.champWin.values(),
+		}
+		if b, serr := predict.SaveBundle(r.champJob, r.champTask, "retired champion", meta); serr == nil {
+			r.retired = append(r.retired, b)
+		}
+	}
+	r.champJob, r.champTask = jm, tm
+	r.version++
+	r.promotions = append(r.promotions, Promotion{
+		Version:       r.version,
+		AtJobSamples:  r.jobSamples,
+		ChampionErr:   champErr,
+		ChallengerErr: challErr,
+	})
+	r.champWin.reset()
+	r.challWin.reset()
+	r.cfg.Observer.LearnPromotion(r.version, r.jobSamples, champErr, challErr)
+}
+
+// challengerJobLocked assembles the challenger's JobModel from the
+// pooled learner (required) and every solvable per-operator learner.
+func (r *Registry) challengerJobLocked() (*predict.JobModel, error) {
+	pooled, err := r.jobPooled.Model()
+	if err != nil {
+		return nil, err
+	}
+	jm := &predict.JobModel{Pooled: pooled, PerOp: map[plan.JobType]*predict.Model{}}
+	for _, op := range sortedOps(r.jobPerOp) {
+		if m, merr := r.jobPerOp[op].Model(); merr == nil {
+			jm.PerOp[op] = m
+		}
+	}
+	return jm, nil
+}
+
+// challengerTaskLocked assembles the challenger's TaskModel, falling
+// back to the current champion's when either phase-pooled learner is
+// still underdetermined (the promoted JobModel can lead the TaskModel
+// early in a cold start).
+func (r *Registry) challengerTaskLocked() *predict.TaskModel {
+	mm, merr := r.mapPooled.Model()
+	rm, rerr := r.redPooled.Model()
+	if merr != nil || rerr != nil {
+		return r.champTask
+	}
+	tm := &predict.TaskModel{
+		MapModel: mm, ReduceModel: rm,
+		MapPerOp:    map[plan.JobType]*predict.Model{},
+		ReducePerOp: map[plan.JobType]*predict.Model{},
+	}
+	for _, op := range sortedOps(r.mapPerOp) {
+		if m, err := r.mapPerOp[op].Model(); err == nil {
+			tm.MapPerOp[op] = m
+		}
+	}
+	for _, op := range sortedOps(r.redPerOp) {
+		if m, err := r.redPerOp[op].Model(); err == nil {
+			tm.ReducePerOp[op] = m
+		}
+	}
+	return tm
+}
+
+// sortedOps returns the map's operator keys in ascending order, so
+// model assembly never depends on map iteration order.
+func sortedOps(m map[plan.JobType]*Learner) []plan.JobType {
+	ops := make([]plan.JobType, 0, len(m))
+	for op := range m {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// Version returns the champion's version: 0 while cold, 1 for a seeded
+// or bootstrapped champion, +1 per promotion since.
+func (r *Registry) Version() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// JobModel returns the frozen serving champion's job model, nil while
+// the registry is cold. The returned model must not be mutated.
+func (r *Registry) JobModel() *predict.JobModel {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.champJob
+}
+
+// TaskModel returns the frozen serving champion's task model, nil while
+// the registry is cold. The returned model must not be mutated.
+func (r *Registry) TaskModel() *predict.TaskModel {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.champTask
+}
+
+// ChallengerJobModel assembles the challenger's current job model, or
+// nil while it is underdetermined. Useful for scoring convergence
+// against a batch baseline without forcing a promotion.
+func (r *Registry) ChallengerJobModel() *predict.JobModel {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	jm, err := r.challengerJobLocked()
+	if err != nil {
+		return nil
+	}
+	return jm
+}
+
+// JobSamples returns how many job observations the registry absorbed.
+func (r *Registry) JobSamples() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobSamples
+}
+
+// TaskSamples returns how many task observations the registry absorbed.
+func (r *Registry) TaskSamples() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.taskSamples
+}
+
+// Promotions returns a copy of the promotion history in order.
+func (r *Registry) Promotions() []Promotion {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Promotion{}, r.promotions...)
+}
+
+// PromotionsJSON serialises the promotion history — the byte-identical
+// artifact the seeded-replay tests compare.
+func (r *Registry) PromotionsJSON() ([]byte, error) {
+	r.mu.Lock()
+	ps := append([]Promotion{}, r.promotions...)
+	r.mu.Unlock()
+	return json.MarshalIndent(ps, "", "  ")
+}
+
+// RetiredBundles returns the V2 persistence bundles of every retired
+// champion, oldest first.
+func (r *Registry) RetiredBundles() [][]byte {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]byte, len(r.retired))
+	copy(out, r.retired)
+	return out
+}
+
+// Snapshot serialises the current champion as a V2 bundle carrying the
+// live lifecycle metadata. It fails while the registry is cold or the
+// champion has no task model yet.
+func (r *Registry) Snapshot() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	meta := &predict.RegistryMeta{
+		ModelVersion: r.version,
+		Samples:      r.jobSamples,
+		ErrorWindow:  r.champWin.values(),
+	}
+	return predict.SaveBundle(r.champJob, r.champTask, "serving champion", meta)
+}
+
+// window is a fixed-capacity ring of relative errors. The mean is
+// recomputed over the buffer on demand — O(W) with W ≤ a few hundred —
+// so the value depends only on the window's contents, never on the
+// incremental order a running sum would accumulate rounding from.
+type window struct {
+	buf  []float64
+	next int
+}
+
+func newWindow(n int) *window { return &window{buf: make([]float64, 0, n)} }
+
+func (w *window) push(v float64) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+		return
+	}
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+func (w *window) full() bool { return len(w.buf) == cap(w.buf) }
+
+func (w *window) mean() float64 {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range w.buf {
+		s += v
+	}
+	return s / float64(len(w.buf))
+}
+
+// meanOrNeg returns the mean, or −1 for an empty window (gauge "unset").
+func (w *window) meanOrNeg() float64 {
+	if len(w.buf) == 0 {
+		return -1
+	}
+	return w.mean()
+}
+
+func (w *window) reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+}
+
+// values returns the window's contents oldest-first.
+func (w *window) values() []float64 {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(w.buf))
+	out = append(out, w.buf[w.next:]...)
+	out = append(out, w.buf[:w.next]...)
+	return out
+}

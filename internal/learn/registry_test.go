@@ -1,0 +1,184 @@
+package learn
+
+import (
+	"bytes"
+	"testing"
+
+	"saqp/internal/plan"
+	"saqp/internal/predict"
+	"saqp/internal/sim"
+)
+
+// feedRegistry replays n seeded synthetic job+task observations into the
+// registry. The stream is a pure function of the seed.
+func feedRegistry(r *Registry, seed uint64, n int) {
+	rng := sim.New(seed)
+	ops := []plan.JobType{plan.Extract, plan.Groupby, plan.Join}
+	for i := 0; i < n; i++ {
+		op := ops[i%len(ops)]
+		f := []float64{rng.Range(1, 200), rng.Range(1, 50), rng.Range(0, 4)}
+		sec := 5 + 0.4*f[0] + 0.1*f[1] + rng.Normal(0, 1)
+		r.ObserveJob(op, f, sec)
+		tf := []float64{rng.Range(1, 100), rng.Range(1, 20), rng.Range(0, 1)}
+		r.ObserveTask(op, i%2 == 1, tf, 1+0.2*tf[0]+rng.Normal(0, 0.2))
+	}
+}
+
+func TestColdStartBootstrap(t *testing.T) {
+	r := NewRegistry(Config{MinSamples: 30, Window: 20})
+	if r.Version() != 0 || r.JobModel() != nil || r.TaskModel() != nil {
+		t.Fatal("cold registry should have no champion")
+	}
+	feedRegistry(r, 1, 60)
+	if r.Version() < 1 {
+		t.Fatalf("version = %d, want ≥1 after MinSamples", r.Version())
+	}
+	if r.JobModel() == nil || r.TaskModel() == nil {
+		t.Fatal("bootstrap should install a full champion")
+	}
+	ps := r.Promotions()
+	if len(ps) == 0 {
+		t.Fatal("bootstrap should record a promotion")
+	}
+	if ps[0].ChampionErr != -1 {
+		t.Fatalf("cold-start ChampionErr = %v, want -1", ps[0].ChampionErr)
+	}
+	if ps[0].AtJobSamples != 30 {
+		t.Fatalf("bootstrap at %d job samples, want 30", ps[0].AtJobSamples)
+	}
+}
+
+func TestPromotionsAreDeterministic(t *testing.T) {
+	run := func() ([]byte, int, int) {
+		r := NewRegistry(Config{MinSamples: 25, Window: 40, PromoteMargin: 0.02})
+		feedRegistry(r, 42, 400)
+		js, err := r.PromotionsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, r.Version(), r.JobSamples()
+	}
+	j1, v1, s1 := run()
+	j2, v2, s2 := run()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("promotion sequences diverged:\n%s\nvs\n%s", j1, j2)
+	}
+	if v1 != v2 || s1 != s2 {
+		t.Fatalf("replay drift: version %d/%d, samples %d/%d", v1, v2, s1, s2)
+	}
+}
+
+func TestSeededChampionPromotesOnMargin(t *testing.T) {
+	// Seed a deliberately bad champion: the challenger must depose it
+	// once both windows fill.
+	bad := &predict.JobModel{Pooled: &predict.Model{Theta: []float64{1000, 0, 0, 0}}}
+	badTasks := &predict.TaskModel{
+		MapModel:    &predict.Model{Theta: []float64{1, 0, 0, 0}},
+		ReduceModel: &predict.Model{Theta: []float64{1, 0, 0, 0}},
+	}
+	r := NewRegistry(Config{Window: 30, MinSamples: 10, PromoteMargin: 0.05,
+		Champion: bad, ChampionTasks: badTasks})
+	if r.Version() != 1 {
+		t.Fatalf("seeded registry version = %d, want 1", r.Version())
+	}
+	feedRegistry(r, 9, 200)
+	if r.Version() < 2 {
+		t.Fatalf("version = %d, want ≥2: challenger should depose the bad champion", r.Version())
+	}
+	ps := r.Promotions()
+	p := ps[0]
+	if p.ChampionErr < 0 {
+		t.Fatal("margin promotion should record the champion's window error")
+	}
+	if p.ChallengerErr >= p.ChampionErr*(1-0.05) {
+		t.Fatalf("promotion without margin: challenger %v vs champion %v", p.ChallengerErr, p.ChampionErr)
+	}
+	// The deposed champion must be snapshotted as a loadable V2 bundle
+	// carrying its lifecycle metadata.
+	bundles := r.RetiredBundles()
+	if len(bundles) != len(ps) {
+		t.Fatalf("%d retired bundles for %d promotions", len(bundles), len(ps))
+	}
+	jm, tm, meta, err := predict.LoadBundle(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jm == nil || tm == nil {
+		t.Fatal("retired bundle lost its models")
+	}
+	if meta == nil || meta.ModelVersion != 1 {
+		t.Fatalf("retired metadata = %+v, want model_version 1", meta)
+	}
+	if meta.Samples != p.AtJobSamples {
+		t.Fatalf("retired sample count %d, want %d", meta.Samples, p.AtJobSamples)
+	}
+	if len(meta.ErrorWindow) == 0 {
+		t.Fatal("retired bundle should carry the champion's error window")
+	}
+	// The frozen bundle predicts exactly like the deposed champion.
+	f := []float64{10, 5, 1}
+	if got, want := jm.Pooled.Predict(f), bad.Pooled.Predict(f); got != want {
+		t.Fatalf("retired champion drifted: %v vs %v", got, want)
+	}
+}
+
+func TestChampionFrozenWhileChallengerLearns(t *testing.T) {
+	r := NewRegistry(Config{MinSamples: 10, Window: 1000})
+	feedRegistry(r, 5, 20) // bootstrap at 10, window far from full again
+	jm := r.JobModel()
+	if jm == nil {
+		t.Fatal("no champion after bootstrap")
+	}
+	f := []float64{50, 10, 2}
+	before := jm.Pooled.Predict(f)
+	feedRegistry(r, 6, 100) // challenger keeps absorbing; window (1000) never fills
+	if got := r.JobModel().Pooled.Predict(f); got != before {
+		t.Fatalf("champion moved while unpromoted: %v vs %v", got, before)
+	}
+	if ch := r.ChallengerJobModel(); ch == nil {
+		t.Fatal("challenger should be solvable")
+	} else if ch.Pooled.Predict(f) == before {
+		t.Fatal("challenger should have moved past the frozen champion")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry(Config{MinSamples: 15})
+	if _, err := r.Snapshot(); err == nil {
+		t.Fatal("cold snapshot should fail")
+	}
+	feedRegistry(r, 2, 40)
+	b, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, meta, err := predict.LoadBundle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.ModelVersion != r.Version() || meta.Samples != r.JobSamples() {
+		t.Fatalf("snapshot metadata = %+v (version %d, samples %d)", meta, r.Version(), r.JobSamples())
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.ObserveJob(plan.Join, []float64{1}, 1)
+	r.ObserveTask(plan.Join, false, []float64{1}, 1)
+	if r.Version() != 0 || r.JobModel() != nil || r.TaskModel() != nil ||
+		r.JobSamples() != 0 || r.TaskSamples() != 0 ||
+		r.Promotions() != nil || r.RetiredBundles() != nil ||
+		r.ChallengerJobModel() != nil {
+		t.Fatal("nil registry should be a no-op")
+	}
+}
+
+func TestIgnoresNonPositiveObservations(t *testing.T) {
+	r := NewRegistry(Config{})
+	r.ObserveJob(plan.Extract, []float64{1, 2, 3}, 0)
+	r.ObserveJob(plan.Extract, []float64{1, 2, 3}, -4)
+	r.ObserveTask(plan.Extract, false, []float64{1, 2}, 0)
+	if r.JobSamples() != 0 || r.TaskSamples() != 0 {
+		t.Fatal("non-positive observations should be dropped")
+	}
+}

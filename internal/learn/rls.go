@@ -1,0 +1,194 @@
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"saqp/internal/predict"
+)
+
+// Weighting selects the per-sample weight scheme an online Learner
+// applies, mirroring the batch fitters in internal/predict.
+type Weighting int
+
+const (
+	// Uniform weights every sample equally — the online counterpart of
+	// predict.Fit.
+	Uniform Weighting = iota
+	// Relative weights each sample by 1/t^1.5 (t = observed seconds) —
+	// the online counterpart of predict.FitRelative, tuning the fit
+	// toward relative rather than absolute residuals.
+	Relative
+)
+
+// ErrUnderdetermined is returned by Model and the prediction methods
+// while the learner has seen fewer samples than it has coefficients.
+var ErrUnderdetermined = errors.New("learn: fewer samples than coefficients")
+
+// zCritical is the two-sided 95% normal quantile used for the
+// confidence band returned by PredictWithInterval.
+const zCritical = 1.96
+
+// Learner is a recursive-least-squares online fitter in information
+// form: it accumulates the weighted normal equations XᵀWX and XᵀWy with
+// one rank-1 update per sample — in the exact floating-point operation
+// order the batch predict.FitWeighted uses — and solves lazily through
+// predict.SolveNormal. A Learner fed N samples therefore produces
+// bit-identical coefficients to a batch Fit/FitRelative over the same
+// stream, which is the property the RLS≡OLS tests pin down.
+//
+// A Learner is not goroutine-safe; Registry serialises access.
+type Learner struct {
+	weighting Weighting
+
+	k   int // coefficient count (features + intercept); fixed by first sample
+	xtx [][]float64
+	xty []float64
+	row []float64
+
+	n int // samples absorbed
+
+	// Prequential (predict-then-absorb) residual accumulation: each
+	// sample is scored by the model fitted to the samples before it,
+	// giving an honest out-of-sample variance estimate for the
+	// confidence band.
+	sqErr float64 // Σ w·(pred−target)²
+	preqN int
+
+	cached *predict.Model
+	dirty  bool
+}
+
+// NewLearner returns an empty learner with the given weighting.
+func NewLearner(w Weighting) *Learner { return &Learner{weighting: w} }
+
+// sampleWeight reproduces the batch fitters' weights exactly:
+// predict.Fit uses 1, predict.FitRelative uses 1/(t·√t) with the same
+// 1e-6 floor on |target|.
+func sampleWeight(w Weighting, target float64) float64 {
+	if w != Relative {
+		return 1
+	}
+	t := math.Abs(target)
+	if t < 1e-6 {
+		t = 1e-6
+	}
+	return 1 / (t * math.Sqrt(t))
+}
+
+// N returns how many samples the learner has absorbed.
+func (l *Learner) N() int { return l.n }
+
+// Observe absorbs one (features, target) sample: it first scores the
+// sample against the current model (prequential residual for the
+// confidence band), then applies the rank-1 update to the accumulated
+// normal equations. The feature width is fixed by the first sample; a
+// later sample with a different width is rejected.
+func (l *Learner) Observe(features []float64, target float64) error {
+	k := len(features) + 1
+	if l.k == 0 {
+		l.k = k
+		l.xtx = make([][]float64, k)
+		for i := range l.xtx {
+			l.xtx[i] = make([]float64, k)
+		}
+		l.xty = make([]float64, k)
+		l.row = make([]float64, k)
+	}
+	if k != l.k {
+		return fmt.Errorf("learn: inconsistent feature width %d vs %d", k, l.k)
+	}
+	w := sampleWeight(l.weighting, target)
+	if m, err := l.Model(); err == nil {
+		if pred, perr := m.PredictChecked(features); perr == nil {
+			e := pred - target
+			l.sqErr += w * e * e
+			l.preqN++
+		}
+	}
+	l.row[0] = 1
+	copy(l.row[1:], features)
+	for i := 0; i < l.k; i++ {
+		for j := 0; j < l.k; j++ {
+			l.xtx[i][j] += w * l.row[i] * l.row[j]
+		}
+		l.xty[i] += w * l.row[i] * target
+	}
+	l.n++
+	l.dirty = true
+	return nil
+}
+
+// Model solves the accumulated normal equations and returns the fitted
+// model, caching the solution until the next Observe. The returned
+// model must be treated as read-only; a later Observe replaces (never
+// mutates) it, which is what lets the registry freeze a promoted
+// champion while the learner keeps absorbing samples.
+func (l *Learner) Model() (*predict.Model, error) {
+	if l.k == 0 || l.n < l.k {
+		return nil, ErrUnderdetermined
+	}
+	if !l.dirty && l.cached != nil {
+		return l.cached, nil
+	}
+	theta, err := predict.SolveNormal(l.xtx, l.xty)
+	if err != nil {
+		l.cached = nil
+		return nil, err
+	}
+	l.cached = &predict.Model{Theta: theta}
+	l.dirty = false
+	return l.cached, nil
+}
+
+// Predict evaluates the current model on one feature vector.
+func (l *Learner) Predict(features []float64) (float64, error) {
+	m, err := l.Model()
+	if err != nil {
+		return 0, err
+	}
+	return m.PredictChecked(features)
+}
+
+// PredictWithInterval returns the point prediction and the half-width
+// of its 95% confidence band: z·√(s²·(1/w_x + xᵀ(XᵀWX)⁻¹x)), where s²
+// is the prequential weighted residual variance, 1/w_x restores the
+// heteroscedastic noise scale at the predicted magnitude (Relative
+// weighting models noise growing with the target), and the quadratic
+// form is the leverage of x under the accumulated design. The width is
+// 0 while no prequential residuals have been collected.
+func (l *Learner) PredictWithInterval(features []float64) (pred, halfWidth float64, err error) {
+	m, err := l.Model()
+	if err != nil {
+		return 0, 0, err
+	}
+	pred, err = m.PredictChecked(features)
+	if err != nil {
+		return 0, 0, err
+	}
+	if l.preqN == 0 {
+		return pred, 0, nil
+	}
+	s2 := l.sqErr / float64(l.preqN)
+	x := make([]float64, l.k)
+	x[0] = 1
+	copy(x[1:], features)
+	z, err := predict.SolveNormal(l.xtx, x)
+	if err != nil {
+		return pred, 0, nil
+	}
+	var leverage float64
+	for i := range x {
+		leverage += x[i] * z[i]
+	}
+	if leverage < 0 {
+		leverage = 0
+	}
+	wx := sampleWeight(l.weighting, pred)
+	v := s2 * (1/wx + leverage)
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return pred, 0, nil
+	}
+	return pred, zCritical * math.Sqrt(v), nil
+}

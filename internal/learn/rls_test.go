@@ -1,0 +1,188 @@
+package learn
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"saqp/internal/predict"
+	"saqp/internal/sim"
+)
+
+// synthSamples draws n samples of a noisy 3-feature plane from a seeded
+// generator.
+func synthSamples(seed uint64, n int) []predict.Sample {
+	r := sim.New(seed)
+	truth := []float64{4, 2.5, -1.25, 0.5}
+	out := make([]predict.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		f := []float64{r.Range(1, 100), r.Range(-20, 20), r.Range(0, 8)}
+		y := truth[0] + truth[1]*f[0] + truth[2]*f[1] + truth[3]*f[2] + r.Normal(0, 0.5)
+		out = append(out, predict.Sample{Features: f, Target: y})
+	}
+	return out
+}
+
+// maxThetaDiff is the largest absolute coefficient difference.
+func maxThetaDiff(a, b *predict.Model) float64 {
+	var d float64
+	for i := range a.Theta {
+		d = math.Max(d, math.Abs(a.Theta[i]-b.Theta[i]))
+	}
+	return d
+}
+
+// TestRLSMatchesBatchFit is the tentpole property: an online learner fed
+// N samples one at a time produces the same coefficients as the batch
+// fitter over the identical stream, for both weighting schemes. The
+// implementation shares the accumulation order and solve path with the
+// batch fitters, so the tolerance here (1e-6) is loose — the actual
+// agreement is bit-for-bit.
+func TestRLSMatchesBatchFit(t *testing.T) {
+	const tol = 1e-6
+	for _, tc := range []struct {
+		name  string
+		w     Weighting
+		batch func([]predict.Sample) (*predict.Model, error)
+	}{
+		{"uniform ≡ Fit", Uniform, predict.Fit},
+		{"relative ≡ FitRelative", Relative, predict.FitRelative},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seedRaw uint16, nRaw uint8) bool {
+				n := 10 + int(nRaw)%200
+				samples := synthSamples(uint64(seedRaw)+1, n)
+				l := NewLearner(tc.w)
+				for _, s := range samples {
+					if err := l.Observe(s.Features, s.Target); err != nil {
+						return false
+					}
+				}
+				online, err := l.Model()
+				if err != nil {
+					return false
+				}
+				batch, err := tc.batch(samples)
+				if err != nil {
+					return false
+				}
+				return maxThetaDiff(online, batch) <= tol
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRLSMatchesBatchNearCollinear drives both fitters through the ridge
+// path: two almost-identical features give a near-singular Gram matrix,
+// where agreement depends on the online learner reusing the exact batch
+// regularisation.
+func TestRLSMatchesBatchNearCollinear(t *testing.T) {
+	r := sim.New(11)
+	var samples []predict.Sample
+	l := NewLearner(Relative)
+	for i := 0; i < 120; i++ {
+		x := r.Range(1, 50)
+		f := []float64{x, x * (1 + 1e-10), r.Range(0, 5)}
+		y := 2 + 3*x + r.Normal(0, 0.1)
+		samples = append(samples, predict.Sample{Features: f, Target: y})
+		if err := l.Observe(f, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	online, err := l.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := predict.FitRelative(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxThetaDiff(online, batch); d > 1e-6 {
+		t.Fatalf("near-collinear coefficient gap %g exceeds 1e-6", d)
+	}
+}
+
+func TestLearnerUnderdetermined(t *testing.T) {
+	l := NewLearner(Uniform)
+	if _, err := l.Model(); !errors.Is(err, ErrUnderdetermined) {
+		t.Fatalf("empty learner Model err = %v", err)
+	}
+	// 3 features + intercept = 4 coefficients; 3 samples stay short.
+	for i := 0; i < 3; i++ {
+		if err := l.Observe([]float64{1, float64(i), 2}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Model(); !errors.Is(err, ErrUnderdetermined) {
+		t.Fatalf("underdetermined learner Model err = %v", err)
+	}
+	if err := l.Observe([]float64{9, 9}, 1); err == nil {
+		t.Fatal("width change should be rejected")
+	}
+	if l.N() != 3 {
+		t.Fatalf("N = %d after a rejected sample, want 3", l.N())
+	}
+}
+
+func TestPredictWithInterval(t *testing.T) {
+	l := NewLearner(Uniform)
+	r := sim.New(7)
+	for i := 0; i < 200; i++ {
+		x := r.Range(0, 10)
+		l.Observe([]float64{x}, 1+2*x+r.Normal(0, 0.3))
+	}
+	center, wCenter, err := l.PredictWithInterval([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wCenter <= 0 {
+		t.Fatalf("interval half-width = %v, want > 0 after prequential residuals", wCenter)
+	}
+	if math.Abs(center-11) > 1 {
+		t.Fatalf("prediction at x=5 is %v, want ≈11", center)
+	}
+	// Extrapolation carries more leverage, so the band must widen.
+	_, wEdge, err := l.PredictWithInterval([]float64{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wEdge <= wCenter {
+		t.Fatalf("extrapolated width %v should exceed interior width %v", wEdge, wCenter)
+	}
+	// The band should cover the truth at an interior point.
+	if truth := 1.0 + 2*5; math.Abs(center-truth) > wCenter+0.5 {
+		t.Fatalf("band [%v ± %v] far from truth %v", center, wCenter, truth)
+	}
+}
+
+// TestModelReplacedNotMutated pins the freezing property the registry
+// relies on: a model handed out before further Observes keeps its
+// coefficients.
+func TestModelReplacedNotMutated(t *testing.T) {
+	l := NewLearner(Uniform)
+	r := sim.New(3)
+	for i := 0; i < 50; i++ {
+		x := r.Range(0, 10)
+		l.Observe([]float64{x}, 2*x+r.Normal(0, 0.1))
+	}
+	m1, err := l.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64{}, m1.Theta...)
+	for i := 0; i < 50; i++ {
+		l.Observe([]float64{r.Range(0, 10)}, 100) // shift the fit hard
+	}
+	if _, err := l.Model(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if m1.Theta[i] != before[i] {
+			t.Fatal("earlier model's coefficients were mutated by later Observes")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+// Online-learning instrumentation: the model-lifecycle registry
+// (internal/learn) reports feedback absorption, champion/challenger
+// window error, confidence-interval width, and promotions here.
+//
+// The promotion trace instant is the one learn event with a timeline
+// position; its "timestamp" is the job-sample count at promotion, not
+// any clock — the registry has no notion of time — so seeded replays
+// emit byte-identical events. The registry calls every method below
+// under its own mutex, which is what makes writing to the un-locked
+// TraceSink (and the learnMeta latch on Observer) safe: no other
+// goroutine emits trace events while the serving engine is the only
+// trace producer attached.
+
+// Learn metric names.
+const (
+	MLearnJobSamples    = "saqp_learn_job_samples_total"
+	MLearnTaskSamples   = "saqp_learn_task_samples_total"
+	MLearnPromotions    = "saqp_learn_promotions_total"
+	MLearnModelVersion  = "saqp_learn_model_version"
+	MLearnChampionErr   = "saqp_learn_champion_window_rel_error"
+	MLearnChallengerErr = "saqp_learn_challenger_window_rel_error"
+	MLearnIntervalSec   = "saqp_learn_interval_width_seconds"
+)
+
+// LearnJobSample counts one absorbed job observation and updates the
+// windowed relative-error gauges. A negative error means that window is
+// still empty and leaves its gauge untouched.
+func (o *Observer) LearnJobSample(championErr, challengerErr float64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MLearnJobSamples).Inc()
+	if championErr >= 0 {
+		o.Metrics.Gauge(MLearnChampionErr).Set(championErr)
+	}
+	if challengerErr >= 0 {
+		o.Metrics.Gauge(MLearnChallengerErr).Set(challengerErr)
+	}
+}
+
+// LearnTaskSample counts one absorbed task observation.
+func (o *Observer) LearnTaskSample() { o.counter(MLearnTaskSamples) }
+
+// LearnIntervalWidth records the half-width of the challenger's 95%
+// confidence band at the latest observed job's features.
+func (o *Observer) LearnIntervalWidth(sec float64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Histogram(MLearnIntervalSec, nil).Observe(sec)
+}
+
+// LearnPromotion records a champion promotion: the promotions counter,
+// the model-version gauge, and a trace instant on the model-lifecycle
+// track positioned at the promotion's job-sample count. championErr is
+// −1 for the cold-start bootstrap.
+func (o *Observer) LearnPromotion(version, atJobSamples int, championErr, challengerErr float64) {
+	if o == nil {
+		return
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(MLearnPromotions).Inc()
+		o.Metrics.Gauge(MLearnModelVersion).Set(float64(version))
+	}
+	if o.Trace == nil {
+		return
+	}
+	if !o.learnMeta {
+		o.learnMeta = true
+		o.Trace.MetaProcessName(PidLearn, "model lifecycle")
+		o.Trace.MetaThreadName(PidLearn, 0, "promotions")
+	}
+	o.Trace.Instant(PidLearn, 0, float64(atJobSamples), "promote v"+itoa(version), "learn",
+		Arg{"version", version}, Arg{"at_job_samples", atJobSamples},
+		Arg{"champion_err", championErr}, Arg{"challenger_err", challengerErr})
+}

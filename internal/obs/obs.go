@@ -21,6 +21,11 @@ type Observer struct {
 	qpids   map[string]int // query id (this run) → pid
 	jtids   map[string]int // job id (this run) → tid within its query's pid
 	jnext   map[int]int    // pid → next free job tid
+
+	// learnMeta latches the one-time emission of the model-lifecycle
+	// track metadata; only the learn registry writes it, under its own
+	// mutex (see learn.go).
+	learnMeta bool
 }
 
 // New builds an observer with a fresh metrics registry and drift

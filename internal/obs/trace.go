@@ -37,6 +37,9 @@ const (
 	// PidFaults carries injected node-level fault events (crash, recover,
 	// blacklist), one thread per node.
 	PidFaults = 4
+	// PidLearn carries model-lifecycle promotion instants, positioned at
+	// their job-sample counts rather than any clock.
+	PidLearn = 5
 	// pidQueryBase is the first per-query process id.
 	pidQueryBase = 100
 )

@@ -83,18 +83,40 @@ func FitWeighted(samples []Sample, weight func(Sample) float64) (*Model, error) 
 			xty[i] += w * row[i] * s.Target
 		}
 	}
-	// Relative ridge: scale by each diagonal entry so units don't matter.
-	for i := 0; i < k; i++ {
-		xtx[i][i] *= 1 + 1e-9
-		if floats.ApproxEqual(xtx[i][i], 0, 1e-12) {
-			xtx[i][i] = 1e-12
-		}
-	}
-	theta, err := solve(xtx, xty)
+	theta, err := SolveNormal(xtx, xty)
 	if err != nil {
 		return nil, err
 	}
 	return &Model{Theta: theta}, nil
+}
+
+// SolveNormal solves the accumulated (weighted) normal equations
+// XᵀWXθ = XᵀWy: it applies the relative ridge to a copy of the Gram
+// matrix, then runs Gaussian elimination with partial pivoting. Inputs
+// are never mutated. The online learner (internal/learn) accumulates the
+// same rank-1 updates sample by sample and solves through this exact
+// path, which is what makes an RLS fit after N updates agree with a
+// batch Fit/FitRelative over the same sample stream.
+func SolveNormal(xtx [][]float64, xty []float64) ([]float64, error) {
+	k := len(xty)
+	if k == 0 || len(xtx) != k {
+		return nil, errors.New("predict: empty or mismatched normal equations")
+	}
+	m := make([][]float64, k)
+	for i := range m {
+		if len(xtx[i]) != k {
+			return nil, errors.New("predict: ragged Gram matrix")
+		}
+		m[i] = append([]float64{}, xtx[i]...)
+	}
+	// Relative ridge: scale by each diagonal entry so units don't matter.
+	for i := 0; i < k; i++ {
+		m[i][i] *= 1 + 1e-9
+		if floats.ApproxEqual(m[i][i], 0, 1e-12) {
+			m[i][i] = 1e-12
+		}
+	}
+	return solve(m, xty)
 }
 
 // solve performs Gaussian elimination with partial pivoting on a copy of A.
@@ -140,15 +162,37 @@ func solve(a [][]float64, b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// Predict evaluates the model on one feature vector.
+// ErrFeatureWidth is returned (wrapped) by PredictChecked when the
+// feature vector's width does not match the fitted coefficient count.
+var ErrFeatureWidth = errors.New("predict: feature width does not match fitted model")
+
+// Predict evaluates the model on one feature vector. The vector must
+// have exactly len(Theta)-1 entries — the width the model was fitted
+// on; any mismatch returns 0 rather than a silently truncated (extra
+// features dropped) or padded (missing features treated as zero)
+// estimate. Use PredictChecked when the caller needs to distinguish a
+// genuine zero prediction from a width error.
 func (m *Model) Predict(features []float64) float64 {
-	y := m.Theta[0]
-	for i, f := range features {
-		if i+1 < len(m.Theta) {
-			y += m.Theta[i+1] * f
-		}
+	y, err := m.PredictChecked(features)
+	if err != nil {
+		return 0
 	}
 	return y
+}
+
+// PredictChecked evaluates the model on one feature vector, returning a
+// wrapped ErrFeatureWidth when the vector is wider or narrower than the
+// fitted coefficient count.
+func (m *Model) PredictChecked(features []float64) (float64, error) {
+	if len(features)+1 != len(m.Theta) {
+		return 0, fmt.Errorf("%w: got %d features, model fits %d",
+			ErrFeatureWidth, len(features), len(m.Theta)-1)
+	}
+	y := m.Theta[0]
+	for i, f := range features {
+		y += m.Theta[i+1] * f
+	}
+	return y, nil
 }
 
 // RSquared computes the coefficient of determination of the model over the

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -130,10 +131,37 @@ func TestAvgRelErrorSkipsNonPositive(t *testing.T) {
 	}
 }
 
-func TestPredictIgnoresExtraFeatures(t *testing.T) {
+func TestPredictRejectsWidthMismatch(t *testing.T) {
 	m := &Model{Theta: []float64{1, 2}}
-	if got := m.Predict([]float64{3, 99, 99}); got != 7 {
-		t.Fatalf("Predict = %v, want 7", got)
+	tests := []struct {
+		name     string
+		features []float64
+		wantErr  bool
+		want     float64
+	}{
+		{"exact width", []float64{3}, false, 7},
+		{"too wide", []float64{3, 99, 99}, true, 0},
+		{"too narrow", nil, true, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			y, err := m.PredictChecked(tc.features)
+			if tc.wantErr {
+				if !errors.Is(err, ErrFeatureWidth) {
+					t.Fatalf("PredictChecked err = %v, want ErrFeatureWidth", err)
+				}
+			} else if err != nil {
+				t.Fatalf("PredictChecked err = %v", err)
+			}
+			if y != tc.want {
+				t.Fatalf("PredictChecked = %v, want %v", y, tc.want)
+			}
+			// The unchecked variant degrades to 0 instead of silently
+			// truncating or reading past the vector.
+			if got := m.Predict(tc.features); got != tc.want {
+				t.Fatalf("Predict = %v, want %v", got, tc.want)
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package predict
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"saqp/internal/plan"
@@ -17,6 +18,17 @@ type savedModel struct {
 	Theta []float64 `json:"theta"`
 }
 
+// RegistryMeta is the model-lifecycle metadata a V2 bundle carries: the
+// registry version counter the bundle was serving as, the number of
+// feedback samples absorbed up to that point, and the trailing window of
+// per-job relative errors that justified (or preceded) its retirement.
+// V1 bundles predate the lifecycle subsystem and load with nil metadata.
+type RegistryMeta struct {
+	ModelVersion int       `json:"model_version"`
+	Samples      int       `json:"samples"`
+	ErrorWindow  []float64 `json:"error_window,omitempty"`
+}
+
 // savedBundle is the on-disk layout of a trained model set.
 type savedBundle struct {
 	Version     int                    `json:"version"`
@@ -27,10 +39,22 @@ type savedBundle struct {
 	RedPooled   *savedModel            `json:"reduce_pooled"`
 	RedPerOp    map[string]*savedModel `json:"reduce_per_op"`
 	Description string                 `json:"description,omitempty"`
+	// Registry is the V2 addition; absent (nil) in V1 bundles.
+	Registry *RegistryMeta `json:"registry,omitempty"`
 }
 
-// currentVersion is bumped on incompatible layout changes.
-const currentVersion = 1
+// Bundle layout versions. V1 is the original coefficient-only layout;
+// V2 adds the optional registry lifecycle metadata. Loading accepts
+// both; saving always writes the current version.
+const (
+	versionV1      = 1
+	currentVersion = 2
+)
+
+// ErrVersion is returned (wrapped, with the offending version number)
+// when a saved bundle declares a layout version this build does not
+// understand.
+var ErrVersion = errors.New("predict: unsupported saved-models version")
 
 func toSaved(m *Model) *savedModel {
 	if m == nil {
@@ -75,8 +99,16 @@ func loadPerOp(m map[string]*savedModel) (map[plan.JobType]*Model, error) {
 	return out, nil
 }
 
-// SaveModels serialises a trained (job, task) model pair to JSON.
+// SaveModels serialises a trained (job, task) model pair to JSON with no
+// lifecycle metadata. Equivalent to SaveBundle(jm, tm, description, nil).
 func SaveModels(jm *JobModel, tm *TaskModel, description string) ([]byte, error) {
+	return SaveBundle(jm, tm, description, nil)
+}
+
+// SaveBundle serialises a trained (job, task) model pair to a V2 JSON
+// bundle, optionally carrying the model-lifecycle metadata the registry
+// (internal/learn) stamps on champion snapshots.
+func SaveBundle(jm *JobModel, tm *TaskModel, description string, meta *RegistryMeta) ([]byte, error) {
 	if jm == nil || tm == nil {
 		return nil, fmt.Errorf("predict: cannot save nil models")
 	}
@@ -89,36 +121,54 @@ func SaveModels(jm *JobModel, tm *TaskModel, description string) ([]byte, error)
 		MapPerOp:    savePerOp(tm.MapPerOp),
 		RedPooled:   toSaved(tm.ReduceModel),
 		RedPerOp:    savePerOp(tm.ReducePerOp),
+		Registry:    meta,
 	}
 	return json.MarshalIndent(b, "", "  ")
 }
 
-// LoadModels parses a bundle produced by SaveModels.
+// LoadModels parses a bundle produced by SaveModels or SaveBundle,
+// discarding any lifecycle metadata. See LoadBundle for version rules.
 func LoadModels(data []byte) (*JobModel, *TaskModel, error) {
+	jm, tm, _, err := LoadBundle(data)
+	return jm, tm, err
+}
+
+// LoadBundle parses a saved bundle of either layout version: V1 bundles
+// (coefficients only) load with nil metadata — the V1→V2 migration is
+// exactly "no lifecycle history" — while V2 bundles also return their
+// RegistryMeta. Unknown versions fail with a wrapped ErrVersion.
+func LoadBundle(data []byte) (*JobModel, *TaskModel, *RegistryMeta, error) {
 	var b savedBundle
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, nil, fmt.Errorf("predict: parsing saved models: %w", err)
+		return nil, nil, nil, fmt.Errorf("predict: parsing saved models: %w", err)
 	}
-	if b.Version != currentVersion {
-		return nil, nil, fmt.Errorf("predict: saved models version %d, want %d", b.Version, currentVersion)
+	switch b.Version {
+	case versionV1:
+		// Pre-lifecycle layout: same coefficient fields, never any
+		// metadata (ignore a stray registry object rather than trusting it).
+		b.Registry = nil
+	case currentVersion:
+	default:
+		return nil, nil, nil, fmt.Errorf("%w: got %d, support %d through %d",
+			ErrVersion, b.Version, versionV1, currentVersion)
 	}
 	jm := &JobModel{Pooled: fromSaved(b.JobPooled)}
 	if jm.Pooled == nil {
-		return nil, nil, fmt.Errorf("predict: saved bundle lacks a pooled job model")
+		return nil, nil, nil, fmt.Errorf("predict: saved bundle lacks a pooled job model")
 	}
 	var err error
 	if jm.PerOp, err = loadPerOp(b.JobPerOp); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	tm := &TaskModel{MapModel: fromSaved(b.MapPooled), ReduceModel: fromSaved(b.RedPooled)}
 	if tm.MapModel == nil || tm.ReduceModel == nil {
-		return nil, nil, fmt.Errorf("predict: saved bundle lacks pooled task models")
+		return nil, nil, nil, fmt.Errorf("predict: saved bundle lacks pooled task models")
 	}
 	if tm.MapPerOp, err = loadPerOp(b.MapPerOp); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if tm.ReducePerOp, err = loadPerOp(b.RedPerOp); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return jm, tm, nil
+	return jm, tm, b.Registry, nil
 }

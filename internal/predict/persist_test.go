@@ -1,6 +1,7 @@
 package predict_test
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -68,6 +69,94 @@ func TestLoadModelsErrors(t *testing.T) {
 	if _, _, err := predict.LoadModels([]byte(
 		`{"version":1,"job_pooled":{"theta":[1]},"map_pooled":{"theta":[1]},"reduce_pooled":{"theta":[1]},"job_per_op":{"Bogus":{"theta":[1]}}}`)); err == nil {
 		t.Fatal("unknown operator should fail")
+	}
+}
+
+// validV1 is a minimal hand-written pre-lifecycle (V1) bundle.
+const validV1 = `{"version":1,` +
+	`"job_pooled":{"theta":[1,2]},` +
+	`"map_pooled":{"theta":[3,4]},` +
+	`"reduce_pooled":{"theta":[5,6]}}`
+
+func TestLoadBundleVersions(t *testing.T) {
+	tests := []struct {
+		name     string
+		data     string
+		wantErr  error // errors.Is target; nil = any error when wantFail
+		wantFail bool
+		wantMeta bool
+	}{
+		{name: "v1 loads with nil metadata", data: validV1},
+		{name: "v1 ignores stray registry metadata",
+			data: strings.Replace(validV1, `{"version":1,`,
+				`{"version":1,"registry":{"model_version":7,"samples":9},`, 1)},
+		{name: "unknown future version rejected",
+			data:    strings.Replace(validV1, `"version":1`, `"version":99`, 1),
+			wantErr: predict.ErrVersion, wantFail: true},
+		{name: "version zero rejected",
+			data:    strings.Replace(validV1, `"version":1`, `"version":0`, 1),
+			wantErr: predict.ErrVersion, wantFail: true},
+		{name: "corrupt json rejected", data: `{"version":2,"job_pooled":`, wantFail: true},
+		{name: "v2 missing pooled job model rejected",
+			data:     `{"version":2,"map_pooled":{"theta":[1]},"reduce_pooled":{"theta":[1]}}`,
+			wantFail: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			jm, tm, meta, err := predict.LoadBundle([]byte(tc.data))
+			if tc.wantFail {
+				if err == nil {
+					t.Fatal("LoadBundle should fail")
+				}
+				if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want errors.Is %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jm == nil || tm == nil {
+				t.Fatal("models missing after load")
+			}
+			if (meta != nil) != tc.wantMeta {
+				t.Fatalf("meta = %+v, wantMeta %v", meta, tc.wantMeta)
+			}
+		})
+	}
+}
+
+func TestSaveBundleRoundTripsMetadata(t *testing.T) {
+	c := sharedCorpus(t)
+	train, _ := c.Split(0.75)
+	jm, err := predict.FitJobModel(train.JobSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := predict.FitTaskModel(train.TaskSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := &predict.RegistryMeta{ModelVersion: 3, Samples: 250, ErrorWindow: []float64{0.1, 0.08, 0.12}}
+	data, err := predict.SaveBundle(jm, tm, "retired champion", meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 2`) {
+		t.Fatal("SaveBundle should write the current (V2) layout")
+	}
+	jm2, _, meta2, err := predict.LoadBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 == nil || meta2.ModelVersion != 3 || meta2.Samples != 250 ||
+		len(meta2.ErrorWindow) != 3 || meta2.ErrorWindow[2] != 0.12 {
+		t.Fatalf("metadata did not round-trip: %+v", meta2)
+	}
+	for _, s := range train.JobSamples[:20] {
+		if jmPredict(jm, s) != jmPredict(jm2, s) {
+			t.Fatal("coefficients drifted through the V2 round trip")
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"saqp/internal/cluster"
 	"saqp/internal/dataset"
+	"saqp/internal/learn"
 	"saqp/internal/obs"
 	"saqp/internal/plan"
 	"saqp/internal/predict"
@@ -55,6 +56,13 @@ type Config struct {
 	// before its *cluster.TaskFailedError is delivered through
 	// Ticket.Wait. Only meaningful with Cluster.Faults set; default 0.
 	MaxRetries int
+	// Learner, when set, closes the observe→learn→predict loop: admission
+	// scoring (WRD ranking, predicted seconds), per-task predictions and
+	// drift accounting come from the registry's current champion models —
+	// falling back to the static TaskModel/JobModel while the registry is
+	// cold — and every cleanly completed (unfaulted) query's observed job
+	// and task times are fed back as challenger training samples.
+	Learner *learn.Registry
 	// Scheduler is the slot policy each pool simulator runs (required).
 	// The policies in internal/sched are stateless values, safe to
 	// share across the pool.
@@ -93,6 +101,10 @@ type Result struct {
 	Attempts int
 	// Faulted reports that injected faults perturbed the (final) run.
 	Faulted bool
+	// ModelVersion is the learner registry's champion version at
+	// admission; 0 without online learning (or while the registry is
+	// cold).
+	ModelVersion int
 }
 
 // Ticket is a pending submission. Exactly one completion is delivered
@@ -108,6 +120,7 @@ type Ticket struct {
 	sql      string
 	wrd      float64
 	predSec  float64
+	version  int
 	cacheHit bool
 
 	done chan struct{}
@@ -276,6 +289,17 @@ func (e *Engine) Submit(ctx context.Context, sql string, seed uint64) (*Ticket, 
 		e.count(func(s *Stats) { s.Errors++ })
 		return nil, ent.err
 	}
+	// Score admission with the learner's current champion when online
+	// learning is on; the cached static scores remain the fallback while
+	// the registry is cold.
+	wrd, predSec, version := ent.wrd, ent.predSec, 0
+	if L := e.cfg.Learner; L != nil {
+		version = L.Version()
+		if tm := L.TaskModel(); tm != nil {
+			wrd = tm.WRD(ent.est)
+			predSec = tm.PredictQuery(ent.est, e.slots, e.ov)
+		}
+	}
 
 	e.mu.Lock()
 	if e.closed {
@@ -296,8 +320,9 @@ func (e *Engine) Submit(ctx context.Context, sql string, seed uint64) (*Ticket, 
 		ctx:      ctx,
 		est:      ent.est,
 		sql:      norm,
-		wrd:      ent.wrd,
-		predSec:  ent.predSec,
+		wrd:      wrd,
+		predSec:  predSec,
+		version:  version,
 		cacheHit: !owner,
 		done:     make(chan struct{}),
 	}
@@ -401,8 +426,19 @@ func (e *Engine) run(t *Ticket) {
 	if e.cfg.Cluster.Faults == nil {
 		maxRetries = 0
 	}
+	// Serve this query from the learner's champion models when online
+	// learning is on and a champion exists; static models otherwise.
+	pred, jm := e.pred, e.cfg.JobModel
+	if L := e.cfg.Learner; L != nil {
+		if tm := L.TaskModel(); tm != nil {
+			pred = tm
+		}
+		if j := L.JobModel(); j != nil {
+			jm = j
+		}
+	}
 	for attempt := 0; ; attempt++ {
-		cq := cluster.BuildQuery(t.id, t.est, trace.NewDefaultCostModel(t.seed), e.pred)
+		cq := cluster.BuildQuery(t.id, t.est, trace.NewDefaultCostModel(t.seed), pred)
 		scfg := e.cfg.Cluster
 		if scfg.Faults != nil {
 			// Decorrelate failure draws across submissions and retries
@@ -427,21 +463,25 @@ func (e *Engine) run(t *Ticket) {
 				t.id, attempt+1, cq.Err))
 			return
 		}
-		if o := e.cfg.Observer; o != nil && o.Drift != nil && e.cfg.JobModel != nil {
+		if o := e.cfg.Observer; o != nil && o.Drift != nil && jm != nil {
 			for ji, je := range t.est.Jobs {
 				sj := cq.Jobs[ji]
 				if sj.DoneTime <= sj.SubmitTime {
 					continue
 				}
-				o.Drift.RecordJob(je.Job.Type.String(), e.cfg.JobModel.PredictJob(je),
+				o.Drift.RecordJob(je.Job.Type.String(), jm.PredictJob(je),
 					sj.DoneTime-sj.SubmitTime, cq.Faulted)
 			}
+		}
+		if L := e.cfg.Learner; L != nil && !cq.Faulted {
+			feedback(L, t.est, cq)
 		}
 		res := Result{
 			ID: t.id, SQL: t.sql, CacheHit: t.cacheHit,
 			WRD: t.wrd, PredictedSec: t.predSec,
 			SimSec: cq.ResponseTime(), Jobs: len(cq.Jobs),
 			Attempts: attempt + 1, Faulted: cq.Faulted,
+			ModelVersion: t.version,
 		}
 		for _, j := range cq.Jobs {
 			res.Maps += len(j.Maps)
@@ -449,6 +489,71 @@ func (e *Engine) run(t *Ticket) {
 		}
 		e.finish(t, res, nil)
 		return
+	}
+}
+
+// learnTasksPerGroup caps how many task observations one task group
+// feeds back per completed job. A group's tasks share features (volumes
+// split evenly), so a bounded sample per group keeps feedback O(groups)
+// without changing the fitted coefficients' expectation — the same
+// rationale as the offline corpus's per-group sampling.
+const learnTasksPerGroup = 8
+
+// feedback feeds one cleanly completed query's observed job and task
+// times into the online-learning registry. Group walking mirrors
+// cluster.BuildQuery's task construction order exactly — including the
+// single synthesized group when an estimate carries none — so each
+// group's features align with the tasks it produced.
+func feedback(l *learn.Registry, est *selectivity.QueryEstimate, cq *cluster.Query) {
+	for ji, je := range est.Jobs {
+		sj := cq.Jobs[ji]
+		if sec := sj.DoneTime - sj.SubmitTime; sec > 0 {
+			l.ObserveJob(je.Job.Type, predict.JobFeatures(je), sec)
+		}
+		pf := je.PFactor()
+		groups := je.MapGroups
+		if len(groups) == 0 {
+			nm := je.NumMaps
+			if nm < 1 {
+				nm = 1
+			}
+			groups = []selectivity.TaskGroup{{
+				Count:    nm,
+				InBytes:  je.InBytes / float64(nm),
+				OutBytes: je.MedBytes / float64(nm),
+			}}
+		}
+		idx := 0
+		for _, g := range groups {
+			for i := 0; i < g.Count && i < learnTasksPerGroup; i++ {
+				if tk := sj.Maps[idx+i]; tk.EndTime > tk.StartTime {
+					l.ObserveTask(je.Job.Type, false,
+						predict.TaskFeatures(je.Job.Type, g.InBytes, g.OutBytes, pf),
+						tk.EndTime-tk.StartTime)
+				}
+			}
+			idx += g.Count
+		}
+		rgroups := je.ReduceGroups
+		if len(rgroups) == 0 && je.NumReduces > 0 {
+			nr := je.NumReduces
+			rgroups = []selectivity.TaskGroup{{
+				Count:    nr,
+				InBytes:  je.MedBytes / float64(nr),
+				OutBytes: je.OutBytes / float64(nr),
+			}}
+		}
+		idx = 0
+		for _, g := range rgroups {
+			for i := 0; i < g.Count && i < learnTasksPerGroup; i++ {
+				if tk := sj.Reds[idx+i]; tk.EndTime > tk.StartTime {
+					l.ObserveTask(je.Job.Type, true,
+						predict.TaskFeatures(je.Job.Type, g.InBytes, g.OutBytes, pf),
+						tk.EndTime-tk.StartTime)
+				}
+			}
+			idx += g.Count
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"saqp/internal/learn"
+	"saqp/internal/workload"
+)
+
+// learnReplay runs one serialized serving replay — Workers=1, one query
+// in flight at a time — of `rounds` passes over the canonical TPC-H set
+// through a cold learner registry, and returns the registry plus the
+// sequence of ModelVersion values the results carried.
+func learnReplay(t *testing.T, rounds int) (*learn.Registry, []int) {
+	t.Helper()
+	reg := learn.NewRegistry(learn.Config{Window: 25, MinSamples: 12, PromoteMargin: 0.02})
+	cfg := config(t)
+	cfg.Workers = 1
+	cfg.Learner = reg
+	e := newEngine(t, cfg)
+
+	var versions []int
+	names := workload.TPCHNames()
+	seed := uint64(0)
+	for round := 0; round < rounds; round++ {
+		for _, name := range names {
+			sql, err := workload.TPCHSQL(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed++
+			tk, err := e.Submit(context.Background(), sql, seed)
+			if err != nil {
+				t.Fatalf("Submit %s: %v", name, err)
+			}
+			res, err := tk.Wait(context.Background())
+			if err != nil {
+				t.Fatalf("Wait %s: %v", name, err)
+			}
+			versions = append(versions, res.ModelVersion)
+		}
+	}
+	return reg, versions
+}
+
+// TestLearnReplayDeterministic pins the subsystem's end-to-end
+// determinism promise: two serialized replays of the same seeded
+// submission stream produce byte-identical promotion histories and
+// identical version trajectories.
+func TestLearnReplayDeterministic(t *testing.T) {
+	reg1, v1 := learnReplay(t, 4)
+	reg2, v2 := learnReplay(t, 4)
+
+	j1, err := reg1.PromotionsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := reg2.PromotionsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("promotion histories diverged across replays:\n%s\nvs\n%s", j1, j2)
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("result counts differ: %d vs %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("ModelVersion diverged at submission %d: %d vs %d", i, v1[i], v2[i])
+		}
+	}
+	if reg1.JobSamples() != reg2.JobSamples() || reg1.TaskSamples() != reg2.TaskSamples() {
+		t.Fatalf("sample counts diverged: jobs %d/%d, tasks %d/%d",
+			reg1.JobSamples(), reg2.JobSamples(), reg1.TaskSamples(), reg2.TaskSamples())
+	}
+
+	// The replay is long enough that feedback bootstraps a champion, and
+	// later submissions must see the bumped version.
+	if reg1.Version() < 1 {
+		t.Fatalf("registry version = %d, want ≥1 after %d submissions", reg1.Version(), len(v1))
+	}
+	if v1[0] != 0 {
+		t.Fatalf("first submission saw version %d, want 0 (cold registry)", v1[0])
+	}
+	if last := v1[len(v1)-1]; last < 1 {
+		t.Fatalf("last submission saw version %d, want the promoted champion", last)
+	}
+}
+
+// TestLearnerServesChampion checks the serving side of the loop: once a
+// champion exists, its model (not the static config model) scores
+// admission and drift, and results report its version.
+func TestLearnerServesChampion(t *testing.T) {
+	jm, tm := models(t)
+	reg := learn.NewRegistry(learn.Config{Champion: jm, ChampionTasks: tm})
+	cfg := config(t)
+	cfg.Workers = 1
+	cfg.Learner = reg
+	e := newEngine(t, cfg)
+
+	tk, err := e.Submit(context.Background(), q6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelVersion != 1 {
+		t.Fatalf("ModelVersion = %d, want 1 (seeded champion)", res.ModelVersion)
+	}
+	if res.PredictedSec <= 0 {
+		t.Fatalf("champion-backed prediction should be positive, got %g", res.PredictedSec)
+	}
+	if reg.JobSamples() == 0 {
+		t.Fatal("feedback should flow into the registry after a clean completion")
+	}
+}

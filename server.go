@@ -49,6 +49,15 @@ type ServerOptions struct {
 	// lifetime: Submit's context is wrapped with this deadline, so a
 	// stuck query is canceled rather than holding a pool worker.
 	QueryTimeout time.Duration
+	// OnlineLearning enables the model-lifecycle subsystem: the server
+	// builds a Learner seeded from the framework's trained models (or
+	// cold, if untrained), serves predictions from its champion, and
+	// feeds every cleanly completed query's observed times back into it.
+	OnlineLearning bool
+	// Learner overrides the registry used when online learning is on;
+	// nil builds one via Framework.NewLearner with defaults. Sharing one
+	// Learner across servers pools their feedback.
+	Learner *Learner
 }
 
 // Server is the framework's concurrent query-serving engine: submissions
@@ -58,8 +67,9 @@ type ServerOptions struct {
 // See internal/serve for the pipeline; Server adds the facade's trained
 // models, catalog fingerprinting, and wall-clock timeouts.
 type Server struct {
-	eng  *serve.Engine
-	opts ServerOptions
+	eng     *serve.Engine
+	opts    ServerOptions
+	learner *Learner
 }
 
 // NewServer starts a serving engine over the framework's estimator and
@@ -77,6 +87,10 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	lr := opts.Learner
+	if lr == nil && opts.OnlineLearning {
+		lr = f.NewLearner(LearnerConfig{})
+	}
 	eng, err := serve.New(serve.Config{
 		Schemas:            f.Schemas,
 		Estimator:          f.Estimator,
@@ -84,6 +98,7 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 		TaskModel:          f.TaskTime,
 		JobModel:           f.JobTime,
 		Cluster:            opts.Cluster,
+		Learner:            lr,
 		Scheduler:          pol,
 		Workers:            opts.Workers,
 		MaxRetries:         opts.MaxRetries,
@@ -94,8 +109,12 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{eng: eng, opts: opts}, nil
+	return &Server{eng: eng, opts: opts, learner: lr}, nil
 }
+
+// Learner returns the online model-lifecycle registry this server
+// serves from and feeds back into, or nil when online learning is off.
+func (s *Server) Learner() *Learner { return s.learner }
 
 // Submit admits one HiveQL query for serving and returns a ticket whose
 // Wait delivers the result. ctx governs the submission end to end: cancel
