@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn ci clean
+.PHONY: all build test race lint lint-self bench-alloc fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn ci clean
 
 all: build
 
@@ -13,13 +13,27 @@ $(SAQPVET): $(shell find cmd/saqpvet internal/analysis -name '*.go' -not -path '
 	@mkdir -p $(BIN)
 	$(GO) build -o $(SAQPVET) ./cmd/saqpvet
 
-# Static analysis: the stock go vet suite plus the project's saqpvet
-# analyzers (determinism, floatcmp, lockcheck, errdrop), run through the
-# vet -vettool protocol so per-package results are cached like any other
-# vet check.
+# Static analysis: the stock go vet suite plus the project's nine
+# saqpvet analyzers (determinism, doccheck, floatcmp, lockcheck,
+# errdrop, allocfree, ctxleak, atomiccheck, leakcheck — see
+# internal/analysis/registry), run through the vet -vettool protocol so
+# per-package results are cached like any other vet check.
 lint: $(SAQPVET)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(SAQPVET)) ./...
+
+# The analyzers' own golden-fixture suites plus the tree-wide
+# cleanliness gate, run separately from `test` so a broken analyzer
+# shows up as a lint failure rather than a buried test failure.
+lint-self:
+	$(GO) test -count=1 ./internal/analysis/...
+
+# Runtime half of the //saqp:hotpath contract: every annotated function
+# must measure zero heap allocations per call via testing.AllocsPerRun.
+bench-alloc:
+	$(GO) test -count=1 -run TestHotPathAllocs \
+		./internal/mapreduce ./internal/selectivity ./internal/histogram \
+		./internal/dataset ./internal/predict ./internal/serve
 
 test:
 	$(GO) test ./...
@@ -93,7 +107,7 @@ bench:
 	gzip -f -9 bench-out/runs.trace.json
 
 # Everything CI runs, in the same order.
-ci: build lint test race fuzz-smoke stress cover-serve bench-fault bench-learn
+ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-fault bench-learn
 
 clean:
 	rm -rf $(BIN) bench-out

@@ -59,6 +59,18 @@ func main() {
 		serveSched   = flag.String("serve-sched", "SWRD", "serve: pool scheduler (HCS|HFS|SWRD)")
 		serveTimeout = flag.Duration("serve-timeout", 0, "serve: per-query wall-clock timeout (0 = none)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"benchrunner regenerates the paper's evaluation artifacts (Tables 2-5,\n"+
+				"Figures 2 and 5-8) from the simulated substrate, and hosts the fault,\n"+
+				"online-learning and concurrent-serving benchmarks.\n\n"+
+				"usage: benchrunner [flags]\n\n"+
+				"examples:\n"+
+				"  benchrunner -exp all\n"+
+				"  benchrunner -exp table3 -queries 1000\n"+
+				"  benchrunner -serve -concurrency 32 -qps 50\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	for _, dir := range []string{*csvDir, *benchDir} {
 		if dir == "" {

@@ -1,6 +1,8 @@
 // Command saqpvet is the project's static-analysis driver. It runs the
-// saqp-specific analyzers (determinism, doccheck, floatcmp, lockcheck,
-// errdrop — see internal/analysis) in two modes:
+// saqp-specific analyzers — determinism, doccheck, floatcmp, lockcheck,
+// errdrop, and the dataflow tier's allocfree, ctxleak, atomiccheck and
+// leakcheck (see internal/analysis and internal/analysis/registry) — in
+// two modes:
 //
 // Standalone, over package patterns:
 //
@@ -11,8 +13,9 @@
 //
 //	go vet -vettool=$(which saqpvet) ./...
 //
-// Both modes honour //lint:allow saqpvet/<analyzer> suppressions and
-// exit non-zero when any finding survives, so `make lint` and CI fail
+// Both modes honour reasoned suppression directives (see the syntax in
+// internal/analysis/suppress.go) and exit non-zero when any finding
+// survives, so `make lint` and CI fail
 // on a violated invariant. The implementation uses only the standard
 // library: standalone mode type-checks module packages from source
 // (offline, via GOROOT), and vettool mode reads the export data that
@@ -35,20 +38,12 @@ import (
 	"strings"
 
 	"saqp/internal/analysis"
-	"saqp/internal/analysis/determinism"
-	"saqp/internal/analysis/doccheck"
-	"saqp/internal/analysis/errdrop"
-	"saqp/internal/analysis/floatcmp"
-	"saqp/internal/analysis/lockcheck"
+	"saqp/internal/analysis/registry"
 )
 
-var analyzers = []*analysis.Analyzer{
-	determinism.Analyzer,
-	doccheck.Analyzer,
-	floatcmp.Analyzer,
-	lockcheck.Analyzer,
-	errdrop.Analyzer,
-}
+// analyzers is the full suite; the registry is the single source of
+// truth shared with the in-repo self-tests.
+var analyzers = registry.All()
 
 func main() {
 	progname := filepath.Base(os.Args[0])
@@ -80,13 +75,15 @@ func main() {
 }
 
 func usage(progname string) {
-	fmt.Printf("%s enforces saqp's determinism, float-safety and concurrency invariants.\n\n", progname)
+	fmt.Printf("%s enforces saqp's determinism, float-safety, concurrency and\nhot-path allocation invariants.\n\n", progname)
 	fmt.Printf("usage:\n  %s [packages]            standalone (default ./...)\n", progname)
 	fmt.Printf("  go vet -vettool=%s ./...  as a vet plugin\n\nanalyzers:\n", progname)
 	for _, a := range analyzers {
 		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
 	}
 	fmt.Printf("\nsuppress a reviewed finding with: //lint:allow saqpvet/<analyzer> <reason>\n")
+	fmt.Printf("(the reason is mandatory; reasonless or misspelled directives are themselves reported)\n")
+	fmt.Printf("mark an allocation-free function with a //saqp:hotpath doc-comment directive\n")
 }
 
 // standalone loads and checks packages by pattern, printing findings

@@ -31,6 +31,16 @@ func main() {
 		gap  = flag.Float64("gap", 12, "mean Poisson inter-arrival gap (seconds)")
 		seed = flag.Uint64("seed", 2018, "generator seed")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"wlgen emits a workload description as JSON: the query mix of the\n"+
+				"paper's Table 2 (Bing or Facebook composition) over the synthetic\n"+
+				"TPC-H/TPC-DS schemas, with Poisson arrival offsets.\n\n"+
+				"usage: wlgen [flags] > workload.json\n\n"+
+				"example:\n"+
+				"  wlgen -mix bing -gap 12 -seed 7 > bing.json\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if err := run(*mix, *gap, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "wlgen:", err)

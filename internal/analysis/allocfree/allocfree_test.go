@@ -1,0 +1,30 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/allocfree"
+	"saqp/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "testdata/src/a")
+}
+
+func TestBrokenFixtureFires(t *testing.T) {
+	diags := analysistest.RunBroken(t, allocfree.Analyzer, "testdata/src/broken")
+	// The broken fixture's one hot path must trip at least the fmt ban
+	// and the string-concatenation rule.
+	var fmtHit, concatHit bool
+	for _, d := range diags {
+		switch {
+		case d.Message[:4] == "fmt.":
+			fmtHit = true
+		case len(d.Message) >= 6 && d.Message[:6] == "string":
+			concatHit = true
+		}
+	}
+	if !fmtHit || !concatHit {
+		t.Errorf("want fmt and string-concat findings, got: %v", diags)
+	}
+}

@@ -1,0 +1,17 @@
+// Package broken is the deliberately-failing allocfree fixture: a hot
+// path that builds strings through fmt. The test only asserts the
+// analyzer fires here, so the file carries no want expectations.
+package broken
+
+import "fmt"
+
+// Hot concatenates and formats on an annotated hot path.
+//
+//saqp:hotpath
+func Hot(names []string) string {
+	out := ""
+	for _, n := range names {
+		out = out + "," + n
+	}
+	return fmt.Sprintf("[%s]", out)
+}

@@ -77,10 +77,16 @@ func (d Diagnostic) String() string {
 
 // Run executes every analyzer whose Scope admits pkg, applies
 // //lint:allow suppressions, and returns the surviving diagnostics in
-// position order.
+// position order. Malformed suppression directives — unknown analyzer
+// names (checked against the full suite, before scope filtering) or
+// missing reasons — surface as diagnostics of their own.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
-	supp := collectSuppressions(pkg)
+	supp, directives := collectSuppressions(pkg)
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		if !a.AppliesTo(pkg.Path) {
 			continue
@@ -91,6 +97,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		out = append(out, ds...)
 	}
+	out = append(out, validateDirectives(directives, known)...)
 	sortDiagnostics(out)
 	return out, nil
 }
@@ -98,12 +105,15 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // RunUnscoped executes a single analyzer regardless of its Scope —
 // the entry point for analysistest fixtures, whose package path ("a")
 // never matches production scopes. Suppressions still apply, so
-// fixtures can also exercise the //lint:allow mechanism.
+// fixtures can also exercise the //lint:allow mechanism; directive
+// validation knows only the one analyzer's name here.
 func RunUnscoped(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
-	ds, err := runOne(pkg, a, collectSuppressions(pkg))
+	supp, directives := collectSuppressions(pkg)
+	ds, err := runOne(pkg, a, supp)
 	if err != nil {
 		return nil, err
 	}
+	ds = append(ds, validateDirectives(directives, map[string]bool{a.Name: true})...)
 	sortDiagnostics(ds)
 	return ds, nil
 }

@@ -57,6 +57,26 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 }
 
+// RunBroken loads the deliberately-broken fixture in dir, runs the
+// analyzer unscoped, and fails the test unless it produces at least
+// one diagnostic — proof the analyzer fires at all, independent of the
+// golden fixture's expectations going stale.
+func RunBroken(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.LoadFixtureDir(dir)
+	if err != nil {
+		t.Fatalf("loading broken fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunUnscoped(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("%s reported nothing on broken fixture %s; the analyzer no longer fires", a.Name, dir)
+	}
+	return diags
+}
+
 var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
 
 func parseWants(pkg *analysis.Package) ([]*expectation, error) {

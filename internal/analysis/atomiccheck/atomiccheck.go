@@ -1,0 +1,147 @@
+// Package atomiccheck implements the saqpvet analyzer enforcing
+// all-or-nothing atomicity: once any code in a package reaches a
+// struct field or package-level variable through sync/atomic, every
+// other access to that location must be atomic too. A mixed access is
+// a data race even when it "only reads" — the Go memory model gives a
+// plain load concurrent with an atomic store undefined behaviour.
+//
+// Initialisation before publication is exempt: writes through a
+// variable constructed inside the same function (the lockcheck
+// locally-constructed rule) cannot yet be shared.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"saqp/internal/analysis"
+)
+
+// Analyzer flags non-atomic access to locations touched by sync/atomic.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc: "flags plain reads/writes of struct fields and package variables " +
+		"that are accessed through sync/atomic elsewhere in the package — " +
+		"mixed access is a data race regardless of which side wins",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	// Pass 1: every &x handed to a sync/atomic function marks x's
+	// object as atomically accessed; the marking nodes themselves are
+	// remembered so pass 2 does not flag them.
+	atomicObjs := make(map[types.Object]bool)
+	atomicUses := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(u.X)
+				if obj := accessedObject(info, target); obj != nil {
+					atomicObjs[obj] = true
+					atomicUses[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to a marked object is a race.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				target, name := accessNode(info, n)
+				if target == nil || atomicUses[n] {
+					return true
+				}
+				if !atomicObjs[target] {
+					return true
+				}
+				if sel, ok := n.(*ast.SelectorExpr); ok && locallyConstructed(info, sel.X, fd) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"non-atomic access to %s, which is accessed with sync/atomic elsewhere in this package; use the atomic API or excuse with //lint:allow saqpvet/atomiccheck",
+					name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// accessedObject resolves the object an address-of target names: a
+// struct field reached through a selector, or a package-level var.
+func accessedObject(info *types.Info, e ast.Expr) types.Object {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[t]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return info.Uses[t.Sel] // qualified package-level var
+	case *ast.Ident:
+		if v, ok := info.Uses[t].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// accessNode classifies a node in pass 2 as an access to a trackable
+// object, returning the object and a printable name.
+func accessNode(info *types.Info, n ast.Node) (types.Object, string) {
+	switch t := n.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[t]; ok && s.Kind() == types.FieldVal {
+			return s.Obj(), exprName(t.X) + "." + t.Sel.Name
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[t].(*types.Var); ok && !v.IsField() && v.Parent() != nil &&
+			v.Parent().Parent() == types.Universe {
+			return v, t.Name
+		}
+	}
+	return nil, ""
+}
+
+// exprName renders the selector base for the diagnostic.
+func exprName(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "(...)"
+}
+
+// locallyConstructed reports whether base names a variable declared
+// inside fn's body — still being built, not yet shareable.
+func locallyConstructed(info *types.Info, base ast.Expr, fn *ast.FuncDecl) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	return obj.Pos() >= fn.Body.Pos() && obj.Pos() <= fn.Body.End()
+}

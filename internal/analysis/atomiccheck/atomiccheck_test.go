@@ -1,0 +1,16 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/analysistest"
+	"saqp/internal/analysis/atomiccheck"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, atomiccheck.Analyzer, "testdata/src/a")
+}
+
+func TestBrokenFixtureFires(t *testing.T) {
+	analysistest.RunBroken(t, atomiccheck.Analyzer, "testdata/src/broken")
+}

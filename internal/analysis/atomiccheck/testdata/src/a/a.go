@@ -1,0 +1,60 @@
+// Package a is the atomiccheck golden fixture: fields and globals
+// with mixed atomic/plain access, clean counterparts, the
+// construction-before-publication exemption, and a suppression.
+package a
+
+import "sync/atomic"
+
+// counter mixes atomic and non-atomic access to n; m stays plain.
+type counter struct {
+	n int64
+	m int64
+}
+
+// inc is the atomic side of the mix.
+func inc(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// bad reads and writes n without the atomic API.
+func bad(c *counter) int64 {
+	c.n++      // want `non-atomic access to c\.n`
+	return c.n // want `non-atomic access to c\.n`
+}
+
+// okOther touches m, which no one accesses atomically.
+func okOther(c *counter) int64 {
+	c.m++
+	return c.m
+}
+
+// atomicRead stays on the atomic API and is clean.
+func atomicRead(c *counter) int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// fresh initialises a counter it just built: nothing can race with a
+// value that has not been published yet.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 5
+	return c
+}
+
+// total is a package-level variable on the atomic side below.
+var total int64
+
+// addTotal is total's atomic access.
+func addTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+// readTotal leaks a plain load of total.
+func readTotal() int64 {
+	return total // want `non-atomic access to total`
+}
+
+// reset documents a reviewed plain write.
+func reset(c *counter) {
+	c.n = 0 //lint:allow saqpvet/atomiccheck runs before the worker pool starts, single-threaded by construction
+}

@@ -1,0 +1,14 @@
+// Package broken is the deliberately-failing atomiccheck fixture: a
+// gauge incremented atomically but read with a plain load.
+package broken
+
+import "sync/atomic"
+
+// Gauge counts events.
+type Gauge struct{ v int64 }
+
+// Inc is atomic.
+func (g *Gauge) Inc() { atomic.AddInt64(&g.v, 1) }
+
+// Read races with Inc.
+func (g *Gauge) Read() int64 { return g.v }

@@ -1,0 +1,16 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/analysistest"
+	"saqp/internal/analysis/ctxleak"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, ctxleak.Analyzer, "testdata/src/a")
+}
+
+func TestBrokenFixtureFires(t *testing.T) {
+	analysistest.RunBroken(t, ctxleak.Analyzer, "testdata/src/broken")
+}

@@ -1,0 +1,55 @@
+// Package a is the ctxleak golden fixture: functions that sever
+// cancellation, functions that thread it correctly, and a reviewed
+// suppression.
+package a
+
+import "context"
+
+// dep is a context-accepting callee for the derivation checks.
+func dep(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// leaky mints a fresh root context, passes it on, and blocks bare.
+func leaky(ctx context.Context, ch chan int) {
+	bg := context.Background() // want `context\.Background severs`
+	dep(bg, ch)                // want `not derived from parameter ctx`
+	<-ch                       // want `channel receive can block without honoring ctx`
+}
+
+// sends blocks on sends, bare and in a select with no stop case.
+func sends(ctx context.Context, ch chan int) {
+	ch <- 1 // want `channel send can block without honoring ctx`
+	select {
+	case ch <- 2: // want `channel send can block without honoring ctx`
+	}
+}
+
+// threaded does everything right: derived contexts, cancellable
+// selects, and done-channel waits.
+func threaded(ctx context.Context, ch chan int, done chan struct{}) {
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	dep(tctx, ch)
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+	<-done // a stop-channel receive is itself a cancellation wait
+	select {
+	case ch <- 1:
+	case <-done:
+	}
+}
+
+// suppressed documents a reviewed bare receive.
+func suppressed(ctx context.Context, ch chan int) {
+	<-ch //lint:allow saqpvet/ctxleak drains one buffered element the caller already produced
+}
+
+// noCtx accepts no context, so its channel discipline is out of this
+// analyzer's scope (leakcheck owns goroutine lifecycles).
+func noCtx(ch chan int) int { return <-ch }

@@ -1,0 +1,14 @@
+// Package broken is the deliberately-failing ctxleak fixture: a
+// context parameter that never reaches any of the function's waits.
+package broken
+
+import "context"
+
+// Wait ignores its context completely.
+func Wait(ctx context.Context, ch chan int) int {
+	v := <-ch
+	use(context.TODO(), ch)
+	return v
+}
+
+func use(ctx context.Context, ch chan int) {}

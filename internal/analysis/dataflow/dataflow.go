@@ -1,0 +1,319 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Flow holds the def-use relations of one function body (or any AST
+// subtree). Build one per analyzed function with New; all methods are
+// read-only afterwards.
+type Flow struct {
+	info    *types.Info
+	root    ast.Node
+	parents map[ast.Node]ast.Node
+	// derived records direct value flow: derived[dst] is the set of
+	// variables whose value reaches dst through one assignment, short
+	// declaration or range clause.
+	derived map[*types.Var]map[*types.Var]bool
+	// uses indexes every identifier in root by the variable it reads.
+	uses map[*types.Var][]*ast.Ident
+}
+
+// New builds the flow relations for root, typically a *ast.FuncDecl or
+// *ast.FuncLit. info must be the type-checker's record for the file
+// containing root.
+func New(root ast.Node, info *types.Info) *Flow {
+	f := &Flow{
+		info:    info,
+		root:    root,
+		parents: make(map[ast.Node]ast.Node),
+		derived: make(map[*types.Var]map[*types.Var]bool),
+		uses:    make(map[*types.Var][]*ast.Ident),
+	}
+	f.buildParents()
+	f.buildEdges()
+	return f
+}
+
+// Parent returns the syntactic parent of n within the flow's root, or
+// nil for the root itself and for nodes outside it.
+func (f *Flow) Parent(n ast.Node) ast.Node { return f.parents[n] }
+
+func (f *Flow) buildParents() {
+	v := &parentVisitor{parents: f.parents}
+	ast.Walk(v, f.root)
+}
+
+type parentVisitor struct {
+	stack   []ast.Node
+	parents map[ast.Node]ast.Node
+}
+
+func (v *parentVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	if len(v.stack) > 0 {
+		v.parents[n] = v.stack[len(v.stack)-1]
+	}
+	v.stack = append(v.stack, n)
+	return v
+}
+
+func (f *Flow) buildEdges() {
+	ast.Inspect(f.root, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.Ident:
+			if v, ok := f.info.Uses[st].(*types.Var); ok {
+				f.uses[v] = append(f.uses[v], st)
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					f.edge(st.Lhs[i], st.Rhs[i])
+				}
+			} else {
+				// Tuple assignment (multi-result call, map index,
+				// type assertion): every lhs derives from the rhs.
+				for _, lhs := range st.Lhs {
+					for _, rhs := range st.Rhs {
+						f.edge(lhs, rhs)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			switch {
+			case len(st.Names) == len(st.Values):
+				for i := range st.Names {
+					f.edgeTo(f.defVar(st.Names[i]), st.Values[i])
+				}
+			case len(st.Values) > 0:
+				for _, name := range st.Names {
+					for _, val := range st.Values {
+						f.edgeTo(f.defVar(name), val)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// Over a slice, array or string the key is an index — an
+			// int carrying none of the ranged value — so only maps and
+			// channels give the key a derivation edge.
+			if st.Key != nil && rangeKeyCarriesValue(f.info, st.X) {
+				f.edge(st.Key, st.X)
+			}
+			if st.Value != nil {
+				f.edge(st.Value, st.X)
+			}
+		}
+		return true
+	})
+}
+
+// edge records value flow from every variable mentioned in src into the
+// variable lhs names, if lhs is a plain identifier. Stores through
+// selectors, indexes and dereferences carry no derivation edge — they
+// surface through Escapes instead.
+func (f *Flow) edge(lhs, src ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	var dst *types.Var
+	if v := f.defVar(id); v != nil {
+		dst = v
+	} else if v, ok := f.info.Uses[id].(*types.Var); ok {
+		dst = v
+	}
+	f.edgeTo(dst, src)
+}
+
+func (f *Flow) edgeTo(dst *types.Var, src ast.Expr) {
+	if dst == nil || src == nil {
+		return
+	}
+	ast.Inspect(src, func(n ast.Node) bool {
+		// len(x), cap(x) and x[i] are projections: they yield a size or
+		// a component, not the value itself, so they carry no edge.
+		if call, ok := n.(*ast.CallExpr); ok && sizeOnlyBuiltin(f.info, call) {
+			return false
+		}
+		if _, ok := n.(*ast.IndexExpr); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if from, ok := f.info.Uses[id].(*types.Var); ok && from != dst {
+			set := f.derived[dst]
+			if set == nil {
+				set = make(map[*types.Var]bool)
+				f.derived[dst] = set
+			}
+			set[from] = true
+		}
+		return true
+	})
+}
+
+func (f *Flow) defVar(id *ast.Ident) *types.Var {
+	v, _ := f.info.Defs[id].(*types.Var)
+	return v
+}
+
+// DerivedFrom returns the forward transitive closure of variables whose
+// value incorporates src's, including src itself. A context wrapped by
+// context.WithTimeout(ctx, d) derives from ctx; so does a variable
+// assigned from any expression mentioning a derived one.
+func (f *Flow) DerivedFrom(src *types.Var) map[*types.Var]bool {
+	set := map[*types.Var]bool{src: true}
+	for changed := true; changed; {
+		changed = false
+		for dst, froms := range f.derived {
+			if set[dst] {
+				continue
+			}
+			for from := range froms {
+				if set[from] {
+					set[dst] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return set
+}
+
+// ExprDerivesFrom reports whether e mentions any variable derived from
+// src — the test ctxleak applies to context-typed call arguments.
+func (f *Flow) ExprDerivesFrom(e ast.Expr, src *types.Var) bool {
+	set := f.DerivedFrom(src)
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := f.info.Uses[id].(*types.Var); ok && set[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// Escapes reports whether v's value can outlive the function: it (or a
+// variable derived from it) is returned, sent on a channel, stored
+// through a selector/index/dereference, captured by a closure declared
+// after v, address-taken, placed in a composite literal, or passed to a
+// non-size builtin or ordinary call. The answer is conservative: true
+// means "possibly escapes".
+func (f *Flow) Escapes(v *types.Var) bool {
+	for w := range f.DerivedFrom(v) {
+		for _, id := range f.uses[w] {
+			if f.useEscapes(id, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// useEscapes classifies one use site. The climb crosses only
+// value-preserving wrappers (parens, slicing — a reslice shares the
+// backing array); projections like buf[i] or s.f extract a component,
+// so escape of the component does not imply escape of the whole.
+func (f *Flow) useEscapes(id *ast.Ident, w *types.Var) bool {
+	// Capture check first: a use inside a closure that does not contain
+	// w's declaration heap-allocates w no matter how the closure uses
+	// it, so this outranks the value-flow climb below.
+	for p := f.parents[ast.Node(id)]; p != nil; p = f.parents[p] {
+		if lit, ok := p.(*ast.FuncLit); ok {
+			if w.Pos() < lit.Pos() || w.Pos() > lit.End() {
+				return true
+			}
+		}
+	}
+	child := ast.Node(id)
+	for p := f.parents[child]; p != nil; child, p = p, f.parents[p] {
+		switch pn := p.(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SliceExpr:
+			if pn.X == child {
+				continue
+			}
+			return false // an index bound, not the value
+		case *ast.ReturnStmt:
+			return true
+		case *ast.SendStmt:
+			return pn.Value == child
+		case *ast.CallExpr:
+			if pn.Fun == child {
+				return false // calling through w, not passing it
+			}
+			return !sizeOnlyBuiltin(f.info, pn)
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return true
+		case *ast.UnaryExpr:
+			return pn.Op == token.AND
+		case *ast.AssignStmt:
+			for _, l := range pn.Lhs {
+				if l == child {
+					return false // def site, not a use of the value
+				}
+			}
+			// w is on the rhs; a store into anything but a plain local
+			// identifier (s.f = w, m[k] = w, *p = w) escapes.
+			for _, l := range pn.Lhs {
+				if _, plain := ast.Unparen(l).(*ast.Ident); !plain {
+					return true
+				}
+			}
+			return false // plain variable copy — derivation edges cover it
+		case *ast.FuncLit:
+			return false // capture handled above; inside its own literal
+		case ast.Stmt, ast.Decl:
+			return false
+		default:
+			// Projections and other expressions (IndexExpr, SelectorExpr,
+			// StarExpr, BinaryExpr, TypeAssertExpr, ...): the flowing
+			// value is no longer w itself.
+			return false
+		}
+	}
+	return false
+}
+
+// rangeKeyCarriesValue reports whether ranging over x gives the key
+// position a value drawn from x (maps and channels) rather than a
+// synthesized index (slices, arrays, strings, integers).
+func rangeKeyCarriesValue(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	if t == nil {
+		return true // unknown: stay conservative, keep the edge
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// sizeOnlyBuiltin reports whether call is len or cap — builtins that
+// inspect a value without retaining it.
+func sizeOnlyBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return id.Name == "len" || id.Name == "cap"
+}

@@ -1,0 +1,233 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses and type-checks one import-free source file and
+// returns the first function declaration named fn.
+func typecheck(t *testing.T, src, fn string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := &types.Config{}
+	if _, err := conf.Check("flow", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd, info
+		}
+	}
+	t.Fatalf("no function %q in source", fn)
+	return nil, nil
+}
+
+// paramVar returns the named parameter of decl.
+func paramVar(t *testing.T, info *types.Info, decl *ast.FuncDecl, name string) *types.Var {
+	t.Helper()
+	for _, field := range decl.Type.Params.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				return info.Defs[id].(*types.Var)
+			}
+		}
+	}
+	t.Fatalf("no parameter %q", name)
+	return nil
+}
+
+// localVar returns the variable defined by the identifier named name
+// inside decl.
+func localVar(t *testing.T, info *types.Info, decl *ast.FuncDecl, name string) *types.Var {
+	t.Helper()
+	var out *types.Var
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				out = v
+				return false
+			}
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no local %q", name)
+	}
+	return out
+}
+
+func TestDerivationChain(t *testing.T) {
+	src := `package p
+func f(x int) int {
+	a := x + 1
+	b := a * 2
+	c := 7
+	return b + c
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	x := paramVar(t, info, decl, "x")
+	set := flow.DerivedFrom(x)
+	for _, name := range []string{"a", "b"} {
+		if !set[localVar(t, info, decl, name)] {
+			t.Errorf("%s should derive from x", name)
+		}
+	}
+	if set[localVar(t, info, decl, "c")] {
+		t.Error("c does not derive from x but was reported as derived")
+	}
+}
+
+func TestRangeDerivation(t *testing.T) {
+	src := `package p
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	xs := paramVar(t, info, decl, "xs")
+	set := flow.DerivedFrom(xs)
+	if !set[localVar(t, info, decl, "v")] {
+		t.Error("range value v should derive from xs")
+	}
+	if !set[localVar(t, info, decl, "s")] {
+		t.Error("s accumulates v and should derive from xs transitively")
+	}
+}
+
+func TestExprDerivesFrom(t *testing.T) {
+	src := `package p
+func wrap(c chan int) chan int { return c }
+func f(c chan int, other chan int) {
+	d := wrap(c)
+	_ = d
+	_ = other
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	c := paramVar(t, info, decl, "c")
+	var dUse ast.Expr
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "d" {
+			if _, isUse := info.Uses[id]; isUse {
+				dUse = id
+			}
+		}
+		return true
+	})
+	if dUse == nil {
+		t.Fatal("no use of d found")
+	}
+	if !flow.ExprDerivesFrom(dUse, c) {
+		t.Error("d = wrap(c) should derive from c")
+	}
+	other := paramVar(t, info, decl, "other")
+	if flow.ExprDerivesFrom(dUse, other) {
+		t.Error("d does not derive from other")
+	}
+}
+
+func TestEscapeByReturn(t *testing.T) {
+	src := `package p
+func f() []int {
+	buf := make([]int, 8)
+	return buf
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	if !flow.Escapes(localVar(t, info, decl, "buf")) {
+		t.Error("returned slice must escape")
+	}
+}
+
+func TestProjectionDoesNotEscape(t *testing.T) {
+	src := `package p
+func f() int {
+	buf := make([]int, 8)
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf[0]
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	if flow.Escapes(localVar(t, info, decl, "buf")) {
+		t.Error("returning one element is a projection; the slice stays local")
+	}
+}
+
+func TestEscapeByClosureCapture(t *testing.T) {
+	src := `package p
+func f() func() int {
+	buf := make([]int, 4)
+	return func() int { return len(buf) }
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	if !flow.Escapes(localVar(t, info, decl, "buf")) {
+		t.Error("closure-captured slice must escape")
+	}
+}
+
+func TestEscapeByFieldStore(t *testing.T) {
+	src := `package p
+type box struct{ s []int }
+func f(b *box) {
+	buf := make([]int, 4)
+	b.s = buf
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	if !flow.Escapes(localVar(t, info, decl, "buf")) {
+		t.Error("slice stored through a pointer field must escape")
+	}
+}
+
+func TestEscapeThroughDerivedCopy(t *testing.T) {
+	src := `package p
+func f(ch chan []int) {
+	buf := make([]int, 4)
+	alias := buf
+	ch <- alias
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	if !flow.Escapes(localVar(t, info, decl, "buf")) {
+		t.Error("alias sent on a channel escapes the original")
+	}
+}
+
+func TestLocalScratchDoesNotEscape(t *testing.T) {
+	src := `package p
+func f(xs []int) int {
+	var scratch [8]int
+	buf := scratch[:0]
+	s := 0
+	for _, x := range xs {
+		s += x + len(buf)
+	}
+	return s
+}`
+	decl, info := typecheck(t, src, "f")
+	flow := New(decl, info)
+	if flow.Escapes(localVar(t, info, decl, "buf")) {
+		t.Error("slice used only via len must stay local")
+	}
+}

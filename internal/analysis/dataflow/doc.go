@@ -1,0 +1,30 @@
+// Package dataflow builds intraprocedural def-use information over the
+// typed AST — the dataflow tier beneath saqpvet's semantic analyzers.
+//
+// The existing analyzers (determinism, floatcmp, lockcheck, errdrop,
+// doccheck) are syntactic: they classify individual nodes. The analyzers
+// introduced with this package (allocfree, ctxleak) need to answer flow
+// questions instead — "does this call receive a value derived from the
+// context parameter?", "does the slice this make built leave the
+// function?". Flow answers both with two intraprocedural relations,
+// computed per function body with no external tooling:
+//
+//   - Derivation: a forward value-flow closure over assignments,
+//     short-variable declarations and range clauses. DerivedFrom(v)
+//     is the set of variables whose value (transitively) incorporates
+//     v's; ExprDerivesFrom asks the same of an arbitrary expression.
+//
+//   - Escape: a use-site classification in the spirit of the compiler's
+//     escape analysis, deliberately conservative. Escapes(v) reports
+//     whether v's value can outlive the function: returned, sent on a
+//     channel, stored through a selector/index/dereference, captured by
+//     a closure declared after v, address-taken, placed in a composite
+//     literal, or passed to a call.
+//
+// Both relations are flow-insensitive (no path ordering, no kill sets):
+// an assignment anywhere in the body creates an edge everywhere. For
+// lint-grade analysis this errs on the side of derivation — a value is
+// considered context-derived or escaping if any path makes it so —
+// which keeps false positives low for ctxleak and makes allocfree's
+// escape exemption strictly conservative.
+package dataflow

@@ -35,32 +35,11 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "forbids wall-clock reads (time.Now/Since/...), math/rand, and " +
 		"map-iteration-ordered output in the simulated-execution packages, " +
 		"so every run of a seeded experiment is bit-for-bit identical",
-	Scope: []string{
-		"saqp/internal/sim",
-		"saqp/internal/cluster",
-		"saqp/internal/sched",
-		"saqp/internal/mapreduce",
-		"saqp/internal/workload",
-		// The observability layer promises byte-identical traces, metrics
-		// and drift snapshots for a fixed seed; a wall-clock timestamp or
-		// map-ordered serialisation would break that silently.
-		"saqp/internal/obs",
-		// The serving engine promises that identical seeds submitted in
-		// serialized order reproduce byte-identical metrics and drift
-		// snapshots; wall-clock timeouts live in the root facade, outside
-		// this scope, precisely so the engine itself stays clock-free.
-		"saqp/internal/serve",
-		// Fault plans promise byte-identical expansion and failure
-		// decisions for equal specs; any entropy here would break the
-		// seeded-replay guarantee.
-		"saqp/internal/fault",
-		// The model-lifecycle subsystem promises that promotion sequences
-		// are functions of the observed sample stream alone — versions,
-		// thresholds and error windows all count samples, never the clock,
-		// and per-operator iteration is sorted before any output.
-		"saqp/internal/learn",
-	},
-	Run: run,
+	// The scope is declared once, next to the loader, and shared with
+	// the self-tests: see analysis.DeterministicPackages for the
+	// per-package rationale.
+	Scope: analysis.DeterministicPackages,
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {

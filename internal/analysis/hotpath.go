@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// HotpathDirective marks a function as part of the zero-allocation
+// serving hot path. It goes on its own line at the end of the doc
+// comment, directive-style (no space after //):
+//
+//	// evalPred evaluates one predicate against a row value.
+//	//
+//	//saqp:hotpath
+//	func evalPred(v dataset.Value, p query.Predicate) bool { ... }
+//
+// The allocfree analyzer checks every annotated function — and every
+// function it statically calls — for heap-allocating constructs, and
+// each annotated function is expected to carry a testing.AllocsPerRun
+// guard as the dynamic twin of the static check.
+const HotpathDirective = "//saqp:hotpath"
+
+// IsHotpath reports whether decl's doc comment carries the
+// //saqp:hotpath directive.
+func IsHotpath(decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == HotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// HotpathIndex answers "is that function annotated //saqp:hotpath?"
+// for functions in *other* packages of the module. An analyzer pass
+// sees cross-package callees only through type information (in vettool
+// mode, export data), which drops comments — so the index re-parses
+// the callee's package directory syntax-only on first query and caches
+// the annotation set per directory. Safe for concurrent use.
+type HotpathIndex struct {
+	mu   sync.Mutex
+	root string // module root; resolved lazily from the first query's file
+	mod  string // module path from go.mod
+	pkgs map[string]map[string]bool
+}
+
+// NewHotpathIndex returns an empty index.
+func NewHotpathIndex() *HotpathIndex {
+	return &HotpathIndex{pkgs: make(map[string]map[string]bool)}
+}
+
+// Annotated reports whether fn carries //saqp:hotpath at its
+// definition. fromFile is any file path inside the module (typically
+// the file containing the call site); it anchors the go.mod search so
+// the index works identically under the standalone driver and the go
+// vet vettool protocol, whose working directories differ. ok is false
+// when fn's package lies outside the module or its source directory
+// cannot be parsed — callers should treat that as unannotated.
+func (ix *HotpathIndex) Annotated(fn *types.Func, fromFile string) (annotated, ok bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return false, false
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.root == "" {
+		root, err := FindModuleRoot(filepath.Dir(fromFile))
+		if err != nil {
+			return false, false
+		}
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return false, false
+		}
+		m := moduleRE.FindSubmatch(data)
+		if m == nil {
+			return false, false
+		}
+		ix.root, ix.mod = root, string(m[1])
+	}
+	pkgPath := fn.Pkg().Path()
+	if pkgPath != ix.mod && !strings.HasPrefix(pkgPath, ix.mod+"/") {
+		return false, false
+	}
+	set, err := ix.packageSet(pkgPath)
+	if err != nil {
+		return false, false
+	}
+	return set[funcKey(fn)], true
+}
+
+// packageSet parses pkgPath's directory (comments on, bodies kept,
+// tests skipped) and returns its annotated-function set.
+func (ix *HotpathIndex) packageSet(pkgPath string) (map[string]bool, error) {
+	if set, ok := ix.pkgs[pkgPath]; ok {
+		return set, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, ix.mod), "/")
+	dir := filepath.Join(ix.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range f.Decls {
+			decl, isFunc := d.(*ast.FuncDecl)
+			if !isFunc || !IsHotpath(decl) {
+				continue
+			}
+			set[declKey(decl)] = true
+		}
+	}
+	ix.pkgs[pkgPath] = set
+	return set, nil
+}
+
+// funcKey names a function or method the way declKey does from syntax:
+// "Name" for functions, "Recv.Name" for methods.
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return fn.Name()
+	}
+	return named.Obj().Name() + "." + fn.Name()
+}
+
+// declKey is funcKey computed from the declaration's syntax alone.
+func declKey(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.ParenExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver [T]
+			t = rt.X
+		case *ast.Ident:
+			return rt.Name + "." + decl.Name.Name
+		default:
+			return decl.Name.Name
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"saqp/internal/analysis/analysistest"
+	"saqp/internal/analysis/leakcheck"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, leakcheck.Analyzer, "testdata/src/a")
+}
+
+func TestBrokenFixtureFires(t *testing.T) {
+	analysistest.RunBroken(t, leakcheck.Analyzer, "testdata/src/broken")
+}

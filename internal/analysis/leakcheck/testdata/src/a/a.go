@@ -1,0 +1,94 @@
+// Package a is the leakcheck golden fixture: leaking goroutines,
+// every recognised join/stop idiom, and a reviewed suppression.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spawns a goroutine nothing can ever stop or join.
+func leak(ch chan int) {
+	go func() { // want `no visible join or stop path`
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// joined joins its workers through a WaitGroup.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// stopped listens on a stop channel.
+func stopped(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case <-ch:
+		case <-done:
+		}
+	}()
+}
+
+// ctxed consults a context.
+func ctxed(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// producer closes its output when done — the close is the completion
+// signal consumers join on.
+func producer(n int) chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+	return out
+}
+
+// ranged drains until the producer closes the channel.
+func ranged(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// named resolves a package-function target through its declaration.
+func named(ch chan int) {
+	go spin(ch) // want `no visible join or stop path`
+}
+
+// spin loops forever with no way out.
+func spin(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// dynamic targets cannot be inspected.
+func dynamic(f func()) {
+	go f() // want `not statically resolvable`
+}
+
+// suppressed documents a reviewed fire-and-forget send.
+func suppressed(ch chan int) {
+	go func() { //lint:allow saqpvet/leakcheck one buffered send, receiver guaranteed by the caller
+		ch <- 1
+	}()
+}

@@ -1,0 +1,12 @@
+// Package broken is the deliberately-failing leakcheck fixture: an
+// unjoinable, unstoppable goroutine.
+package broken
+
+// Spawn leaks a producer.
+func Spawn(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}

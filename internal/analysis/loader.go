@@ -234,6 +234,11 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 // driver.
 func ModuleDirs(root string) ([]string, error) {
 	var dirs []string
+	// WalkDir interleaves a directory's files with descents into its
+	// subdirectories, so dedup needs a set — comparing against the last
+	// appended entry would record the same directory once per run of
+	// files between subdirectory visits.
+	seen := make(map[string]bool)
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -247,7 +252,8 @@ func ModuleDirs(root string) ([]string, error) {
 		}
 		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
 			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			if !seen[dir] {
+				seen[dir] = true
 				dirs = append(dirs, dir)
 			}
 		}

@@ -1,0 +1,37 @@
+// Package registry declares the saqpvet analyzer suite in one place.
+// cmd/saqpvet (both driver modes) and the analysis package's
+// repository self-test consume this list, so an analyzer added here is
+// automatically enforced by `make lint`, by `go vet -vettool`, and by
+// `go test ./internal/analysis` — and one forgotten here is enforced
+// nowhere, which is why nothing else declares its own list.
+package registry
+
+import (
+	"saqp/internal/analysis"
+	"saqp/internal/analysis/allocfree"
+	"saqp/internal/analysis/atomiccheck"
+	"saqp/internal/analysis/ctxleak"
+	"saqp/internal/analysis/determinism"
+	"saqp/internal/analysis/doccheck"
+	"saqp/internal/analysis/errdrop"
+	"saqp/internal/analysis/floatcmp"
+	"saqp/internal/analysis/leakcheck"
+	"saqp/internal/analysis/lockcheck"
+)
+
+// All returns the full saqpvet analyzer suite in reporting order. It
+// returns a fresh slice each call so no caller can reorder or truncate
+// another's view of the suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		doccheck.Analyzer,
+		floatcmp.Analyzer,
+		lockcheck.Analyzer,
+		errdrop.Analyzer,
+		allocfree.Analyzer,
+		ctxleak.Analyzer,
+		atomiccheck.Analyzer,
+		leakcheck.Analyzer,
+	}
+}

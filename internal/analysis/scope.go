@@ -1,0 +1,56 @@
+package analysis
+
+// DeterministicPackages is the single declared list of packages under
+// the simulator's bit-for-bit reproducibility contract: no wall-clock
+// reads, no global randomness, no map-iteration-ordered output. The
+// determinism analyzer's Scope and the loader-driven self-tests both
+// consume this list, so a package cannot be in scope for one and
+// silently fall out of the other; the self-test additionally checks
+// the list against SeededCorePackages' import graph, so a new
+// internal package that builds on the seeded core cannot dodge the
+// contract by simply not being listed.
+var DeterministicPackages = []string{
+	"saqp/internal/sim",
+	"saqp/internal/cluster",
+	"saqp/internal/sched",
+	"saqp/internal/mapreduce",
+	"saqp/internal/workload",
+	// The observability layer promises byte-identical traces, metrics
+	// and drift snapshots for a fixed seed; a wall-clock timestamp or
+	// map-ordered serialisation would break that silently.
+	"saqp/internal/obs",
+	// The serving engine promises that identical seeds submitted in
+	// serialized order reproduce byte-identical metrics and drift
+	// snapshots; wall-clock timeouts live in the root facade, outside
+	// this scope, precisely so the engine itself stays clock-free.
+	"saqp/internal/serve",
+	// Fault plans promise byte-identical expansion and failure
+	// decisions for equal specs; any entropy here would break the
+	// seeded-replay guarantee.
+	"saqp/internal/fault",
+	// The model-lifecycle subsystem promises that promotion sequences
+	// are functions of the observed sample stream alone — versions,
+	// thresholds and error windows all count samples, never the clock,
+	// and per-operator iteration is sorted before any output.
+	"saqp/internal/learn",
+	// Shared substrate of the seeded core: values, traces and numeric
+	// helpers feed directly into simulated execution, so entropy here
+	// would surface as nondeterministic schedules downstream.
+	"saqp/internal/dataset",
+	"saqp/internal/trace",
+	"saqp/internal/core",
+}
+
+// SeededCorePackages are the packages whose import marks a consumer as
+// part of the seeded execution core: importing any of them means the
+// importer's outputs feed (or derive from) seeded simulation, so it
+// belongs in DeterministicPackages. The self-test enforces exactly
+// that implication for every saqp/internal package.
+var SeededCorePackages = []string{
+	"saqp/internal/sim",
+	"saqp/internal/cluster",
+	"saqp/internal/sched",
+	"saqp/internal/mapreduce",
+	"saqp/internal/fault",
+	"saqp/internal/workload",
+}

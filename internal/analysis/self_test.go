@@ -2,26 +2,86 @@ package analysis_test
 
 import (
 	"os"
+	"strings"
 	"testing"
 
 	"saqp/internal/analysis"
-	"saqp/internal/analysis/determinism"
-	"saqp/internal/analysis/doccheck"
-	"saqp/internal/analysis/errdrop"
-	"saqp/internal/analysis/floatcmp"
-	"saqp/internal/analysis/lockcheck"
+	"saqp/internal/analysis/registry"
 )
 
 // TestRepositoryIsClean runs the full saqpvet analyzer suite over every
 // package in the module and fails on any diagnostic. This is the
 // cleanliness regression gate: a change that reintroduces time.Now in
-// the simulator, a raw float comparison in the estimator, or a dropped
-// error anywhere in internal/ fails `go test` even before CI runs the
-// standalone saqpvet binary.
+// the simulator, a raw float comparison in the estimator, a heap
+// allocation on a //saqp:hotpath function, or a dropped error anywhere
+// in internal/ fails `go test` even before CI runs the standalone
+// saqpvet binary. The suite comes from registry.All(), the same list
+// cmd/saqpvet runs, so the gate and the tool cannot drift apart.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}
+	loader, dirs := moduleLoader(t)
+	suite := registry.All()
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			t.Fatalf("analyze %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestDeterminismScopeCoversSeededImporters enforces the implication
+// declared next to SeededCorePackages: any saqp/internal package that
+// imports a seeded-core package is itself part of the deterministic
+// execution graph and must appear in DeterministicPackages. Without
+// this, a new package could wrap the simulator and leak wall-clock
+// reads into seeded runs while staying outside the analyzer's scope.
+func TestDeterminismScopeCoversSeededImporters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader, dirs := moduleLoader(t)
+	declared := make(map[string]bool, len(analysis.DeterministicPackages))
+	for _, p := range analysis.DeterministicPackages {
+		declared[p] = true
+	}
+	seeded := make(map[string]bool, len(analysis.SeededCorePackages))
+	for _, p := range analysis.SeededCorePackages {
+		seeded[p] = true
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		if !strings.HasPrefix(pkg.Path, "saqp/internal/") ||
+			strings.HasPrefix(pkg.Path, "saqp/internal/analysis") {
+			continue // the contract covers runtime packages, not the linter
+		}
+		if declared[pkg.Path] {
+			continue
+		}
+		for _, imp := range pkg.Types.Imports() {
+			if seeded[imp.Path()] {
+				t.Errorf("%s imports seeded-core package %s but is missing from analysis.DeterministicPackages",
+					pkg.Path, imp.Path())
+			}
+		}
+	}
+}
+
+// moduleLoader resolves the module root from the test's working
+// directory and enumerates its package directories.
+func moduleLoader(t *testing.T) (*analysis.Loader, []string) {
+	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
@@ -38,24 +98,5 @@ func TestRepositoryIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	suite := []*analysis.Analyzer{
-		determinism.Analyzer,
-		doccheck.Analyzer,
-		floatcmp.Analyzer,
-		lockcheck.Analyzer,
-		errdrop.Analyzer,
-	}
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			t.Fatalf("load %s: %v", dir, err)
-		}
-		diags, err := analysis.Run(pkg, suite)
-		if err != nil {
-			t.Fatalf("analyze %s: %v", pkg.Path, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
-	}
+	return loader, dirs
 }

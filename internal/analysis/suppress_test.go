@@ -1,0 +1,117 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"saqp/internal/analysis"
+)
+
+// TestMultipleDirectivesOneLine checks that several //lint:allow
+// directives sharing a comment are parsed independently: each names its
+// own analyzer and carries its own reason, and both suppress.
+func TestMultipleDirectivesOneLine(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+func f() int {
+	x := 1 //lint:allow saqpvet/assignflag first reason //lint:allow saqpvet/otherflag second reason
+	return x
+}
+`)
+	otherFlagger := &analysis.Analyzer{
+		Name: "otherflag",
+		Doc:  "clone of assignflag under another name",
+		Run:  assignFlagger.Run,
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{assignFlagger, otherFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("both directives on the line should suppress their analyzers; got %v", diags)
+	}
+}
+
+// TestUnknownAnalyzerDirectiveIsReported checks that a directive naming
+// an analyzer the suite does not know is rejected — it must not
+// suppress anything — and surfaces as a finding so the typo is visible.
+func TestUnknownAnalyzerDirectiveIsReported(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+func f() int {
+	x := 1 //lint:allow saqpvet/assginflag transposed-letters typo
+	return x
+}
+`)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{assignFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assignment, unknown bool
+	for _, d := range diags {
+		if d.Analyzer == "assignflag" {
+			assignment = true
+		}
+		if d.Analyzer == "suppress" && strings.Contains(d.Message, "unknown analyzer saqpvet/assginflag") {
+			unknown = true
+		}
+	}
+	if !assignment {
+		t.Errorf("typoed directive must not silence the finding; got %v", diags)
+	}
+	if !unknown {
+		t.Errorf("typoed directive must itself be reported; got %v", diags)
+	}
+}
+
+// TestReasonlessDirectiveIsReported checks that a directive without a
+// justification is ignored (the finding survives) and reported, rather
+// than silently honored.
+func TestReasonlessDirectiveIsReported(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+func f() int {
+	x := 1 //lint:allow saqpvet/assignflag
+	return x
+}
+`)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{assignFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assignment, reasonless bool
+	for _, d := range diags {
+		if d.Analyzer == "assignflag" {
+			assignment = true
+		}
+		if d.Analyzer == "suppress" && strings.Contains(d.Message, "has no reason") {
+			reasonless = true
+		}
+	}
+	if !assignment {
+		t.Errorf("reasonless directive must not silence the finding; got %v", diags)
+	}
+	if !reasonless {
+		t.Errorf("reasonless directive must itself be reported; got %v", diags)
+	}
+}
+
+// TestForeignDialectIgnored checks that //lint:allow directives from
+// other tools' vocabularies (no saqpvet/ prefix) are left alone: they
+// neither suppress nor produce validation noise.
+func TestForeignDialectIgnored(t *testing.T) {
+	pkg := loadFixture(t, `package a
+
+func f() int {
+	x := 1 //lint:allow ST1003 someone else's linter
+	return x
+}
+`)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{assignFlagger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "assignflag" {
+		t.Errorf("foreign directive should neither suppress nor be validated; got %v", diags)
+	}
+}

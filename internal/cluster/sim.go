@@ -335,7 +335,7 @@ func (r *Results) PercentileResponse(p float64) float64 {
 
 // Run processes events until all submitted queries complete.
 func (s *Sim) Run() (*Results, error) {
-	return s.RunContext(context.Background())
+	return s.RunContext(context.Background()) //lint:allow saqpvet/ctxleak Run is the deliberate never-canceled entry point; RunContext is the cancellable form
 }
 
 // RunContext is Run with cooperative cancellation: the event loop checks

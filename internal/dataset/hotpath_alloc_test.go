@@ -1,0 +1,31 @@
+package dataset
+
+import "testing"
+
+var (
+	hotSinkFloat float64
+	hotSinkBool  bool
+	hotSinkInt   int
+)
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for per-row Value operations: zero heap allocations per call.
+func TestHotPathAllocs(t *testing.T) {
+	iv, fv, sv := Int(7), Float(3.5), Str("abc")
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Num/int", func() { hotSinkFloat = iv.Num() }},
+		{"Num/float", func() { hotSinkFloat = fv.Num() }},
+		{"Less", func() { hotSinkBool = iv.Less(fv) }},
+		{"Less/string", func() { hotSinkBool = sv.Less(sv) }},
+		{"Equal", func() { hotSinkBool = fv.Equal(fv) }},
+		{"Width", func() { hotSinkInt = sv.Width() }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per call; //saqp:hotpath functions must not allocate", c.name, n)
+		}
+	}
+}

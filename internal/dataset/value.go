@@ -70,7 +70,12 @@ func (v Value) Key() string {
 }
 
 // Num returns the value as a float64 for numeric comparison. Strings map to
-// 0; predicates on strings should use equality on S instead.
+// 0; predicates on strings should use equality on S instead. Num, Less,
+// Equal and Width run once per row inside the simulated map/reduce inner
+// loops, so they must not allocate (Key, which builds a string, is
+// deliberately outside the contract).
+//
+//saqp:hotpath
 func (v Value) Num() float64 {
 	switch v.K {
 	case KindInt, KindDate:
@@ -83,6 +88,8 @@ func (v Value) Num() float64 {
 
 // Less reports whether v orders before o. Values of different kinds order
 // by kind, matching the engine's total order for sorting.
+//
+//saqp:hotpath
 func (v Value) Less(o Value) bool {
 	if v.K != o.K {
 		return v.K < o.K
@@ -99,6 +106,8 @@ func (v Value) Less(o Value) bool {
 }
 
 // Equal reports whether v and o are the same logical value.
+//
+//saqp:hotpath
 func (v Value) Equal(o Value) bool {
 	if v.K != o.K {
 		return false
@@ -116,6 +125,8 @@ func (v Value) Equal(o Value) bool {
 
 // Width returns the encoded width of the value in bytes, the unit used for
 // all D_in/D_med/D_out size accounting in the paper's model.
+//
+//saqp:hotpath
 func (v Value) Width() int {
 	switch v.K {
 	case KindInt, KindDate:

@@ -97,6 +97,8 @@ func Synthesize(rows, card int64, lo float64, n int, weights []float64) *Histogr
 }
 
 // bucketOf returns the bucket index covering v, clamped to the edges.
+//
+//saqp:hotpath
 func (h *Histogram) bucketOf(v float64) int {
 	n := len(h.Buckets)
 	if v < h.Lo {
@@ -113,11 +115,15 @@ func (h *Histogram) bucketOf(v float64) int {
 }
 
 // width returns one bucket's domain width.
+//
+//saqp:hotpath
 func (h *Histogram) width() float64 {
 	return (h.Hi - h.Lo) / float64(len(h.Buckets))
 }
 
 // Rows returns the total row mass in the histogram.
+//
+//saqp:hotpath
 func (h *Histogram) Rows() float64 {
 	var t float64
 	for _, b := range h.Buckets {
@@ -129,6 +135,8 @@ func (h *Histogram) Rows() float64 {
 // DistinctTotal returns the summed per-bucket distinct counts — an upper
 // bound on (and for integer-keyed equi-width buckets, exactly) the column's
 // distinct cardinality.
+//
+//saqp:hotpath
 func (h *Histogram) DistinctTotal() float64 {
 	var t float64
 	for _, b := range h.Buckets {
@@ -138,7 +146,11 @@ func (h *Histogram) DistinctTotal() float64 {
 }
 
 // SelectivityLT estimates the fraction of rows with value < x, assuming
-// uniform spread within the partially-covered bucket.
+// uniform spread within the partially-covered bucket. The Selectivity*
+// family backs PredSelectivity, which scores every plan candidate, so
+// none of it may allocate.
+//
+//saqp:hotpath
 func (h *Histogram) SelectivityLT(x float64) float64 {
 	total := h.Rows()
 	if total == 0 { //lint:allow saqpvet/floatcmp zero row mass means an empty histogram, an exact state
@@ -166,11 +178,15 @@ func (h *Histogram) SelectivityLT(x float64) float64 {
 }
 
 // SelectivityGE estimates the fraction of rows with value >= x.
+//
+//saqp:hotpath
 func (h *Histogram) SelectivityGE(x float64) float64 {
 	return clamp01(1 - h.SelectivityLT(x))
 }
 
 // SelectivityBetween estimates the fraction of rows with lo <= value < hi.
+//
+//saqp:hotpath
 func (h *Histogram) SelectivityBetween(lo, hi float64) float64 {
 	if hi <= lo {
 		return 0
@@ -180,6 +196,8 @@ func (h *Histogram) SelectivityBetween(lo, hi float64) float64 {
 
 // SelectivityEQ estimates the fraction of rows equal to x: the covering
 // bucket's count split evenly over its distinct values.
+//
+//saqp:hotpath
 func (h *Histogram) SelectivityEQ(x float64) float64 {
 	total := h.Rows()
 	if total == 0 || x < h.Lo || x >= h.Hi { //lint:allow saqpvet/floatcmp zero row mass means an empty histogram, an exact state
@@ -193,6 +211,8 @@ func (h *Histogram) SelectivityEQ(x float64) float64 {
 }
 
 // SelectivityNE estimates the fraction of rows not equal to x.
+//
+//saqp:hotpath
 func (h *Histogram) SelectivityNE(x float64) float64 {
 	return clamp01(1 - h.SelectivityEQ(x))
 }
@@ -457,6 +477,9 @@ func Decode(data []byte) (*Histogram, error) {
 	return &h, nil
 }
 
+// clamp01 clips a selectivity estimate into [0, 1].
+//
+//saqp:hotpath
 func clamp01(v float64) float64 {
 	if v < 0 {
 		return 0

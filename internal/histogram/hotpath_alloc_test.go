@@ -1,0 +1,34 @@
+package histogram
+
+import "testing"
+
+var (
+	hotSinkFloat float64
+	hotSinkInt   int
+)
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for the selectivity kernel: zero heap allocations per call.
+func TestHotPathAllocs(t *testing.T) {
+	h := Build([]float64{1, 2, 3, 42, 42, 99}, 0, 100, 8)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"bucketOf", func() { hotSinkInt = h.bucketOf(42) }},
+		{"width", func() { hotSinkFloat = h.width() }},
+		{"Rows", func() { hotSinkFloat = h.Rows() }},
+		{"DistinctTotal", func() { hotSinkFloat = h.DistinctTotal() }},
+		{"SelectivityLT", func() { hotSinkFloat = h.SelectivityLT(42) }},
+		{"SelectivityGE", func() { hotSinkFloat = h.SelectivityGE(42) }},
+		{"SelectivityEQ", func() { hotSinkFloat = h.SelectivityEQ(42) }},
+		{"SelectivityNE", func() { hotSinkFloat = h.SelectivityNE(42) }},
+		{"SelectivityBetween", func() { hotSinkFloat = h.SelectivityBetween(10, 60) }},
+		{"clamp01", func() { hotSinkFloat = clamp01(-0.5) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per call; //saqp:hotpath functions must not allocate", c.name, n)
+		}
+	}
+}

@@ -7,7 +7,11 @@ import (
 	"saqp/internal/query"
 )
 
-// evalPred evaluates one column-vs-literal predicate against a row.
+// evalPred evaluates one column-vs-literal predicate against a row. It
+// runs once per row per predicate inside the map phase — the innermost
+// loop of simulated execution — so it must not allocate.
+//
+//saqp:hotpath
 func evalPred(v dataset.Value, p query.Predicate) bool {
 	if p.Op == query.OpIN {
 		for _, lit := range p.Set {
@@ -27,6 +31,9 @@ func evalPred(v dataset.Value, p query.Predicate) bool {
 	return cmpFloats(v.Num(), p.Lit.F, p.Op)
 }
 
+// cmpFloats applies one comparison operator to two numerics.
+//
+//saqp:hotpath
 func cmpFloats(a, b float64, op query.CmpOp) bool {
 	switch op {
 	case query.OpEQ:
@@ -45,6 +52,9 @@ func cmpFloats(a, b float64, op query.CmpOp) bool {
 	return false
 }
 
+// cmpStrings applies one comparison operator to two strings.
+//
+//saqp:hotpath
 func cmpStrings(a, b string, op query.CmpOp) bool {
 	switch op {
 	case query.OpEQ:
@@ -105,6 +115,9 @@ type aggState struct {
 
 func newAggState(fn query.AggFunc) *aggState { return &aggState{fn: fn} }
 
+// add folds one value into the aggregate; called once per surviving row.
+//
+//saqp:hotpath
 func (a *aggState) add(v float64) {
 	a.sum += v
 	a.count++
@@ -118,9 +131,13 @@ func (a *aggState) add(v float64) {
 }
 
 // addCount is used for count(*) where no value is evaluated.
+//
+//saqp:hotpath
 func (a *aggState) addCount(n int64) { a.count += n; a.init = true }
 
 // merge combines a partial (combiner) state into a.
+//
+//saqp:hotpath
 func (a *aggState) merge(o *aggState) {
 	if !o.init {
 		return

@@ -1,0 +1,39 @@
+package predict
+
+import (
+	"testing"
+
+	"saqp/internal/plan"
+)
+
+var (
+	hotSinkFloat float64
+	hotSinkModel *Model
+)
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for model evaluation: zero heap allocations per call.
+func TestHotPathAllocs(t *testing.T) {
+	m := &Model{Theta: []float64{0.5, 1, 2, 3}}
+	feats := []float64{1, 2, 3}
+	jm := &JobModel{Pooled: m, PerOp: map[plan.JobType]*Model{plan.Join: m}}
+	tm := &TaskModel{
+		MapModel: m, ReduceModel: m,
+		MapPerOp:    map[plan.JobType]*Model{plan.Join: m},
+		ReducePerOp: map[plan.JobType]*Model{},
+	}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Model.Predict", func() { hotSinkFloat = m.Predict(feats) }},
+		{"JobModel.modelFor", func() { hotSinkModel = jm.modelFor(plan.Extract) }},
+		{"TaskModel.taskModelFor", func() { hotSinkModel = tm.taskModelFor(plan.Join, true) }},
+		{"opIndicator", func() { hotSinkFloat = opIndicator(plan.Join) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per call; //saqp:hotpath functions must not allocate", c.name, n)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 
 // opIndicator is the paper's operator feature O: 1 for Join, 0 otherwise
 // (Table 1).
+//
+//saqp:hotpath
 func opIndicator(op plan.JobType) float64 {
 	if op == plan.Join {
 		return 1
@@ -88,6 +90,8 @@ func FitJobModel(samples []JobSample) (*JobModel, error) {
 }
 
 // modelFor returns the operator's model, or the pooled fallback.
+//
+//saqp:hotpath
 func (jm *JobModel) modelFor(op plan.JobType) *Model {
 	if m, ok := jm.PerOp[op]; ok {
 		return m
@@ -153,6 +157,8 @@ func FitTaskModel(samples []TaskSample) (*TaskModel, error) {
 }
 
 // taskModelFor returns the most specific fitted model for a task class.
+//
+//saqp:hotpath
 func (tm *TaskModel) taskModelFor(op plan.JobType, reduce bool) *Model {
 	if reduce {
 		if m, ok := tm.ReducePerOp[op]; ok {

@@ -171,11 +171,18 @@ var ErrFeatureWidth = errors.New("predict: feature width does not match fitted m
 // on; any mismatch returns 0 rather than a silently truncated (extra
 // features dropped) or padded (missing features treated as zero)
 // estimate. Use PredictChecked when the caller needs to distinguish a
-// genuine zero prediction from a width error.
+// genuine zero prediction from a width error. Predict runs once per
+// candidate task during scheduling, so it must not allocate — the
+// width-error formatting lives in PredictChecked, off the hot path.
+//
+//saqp:hotpath
 func (m *Model) Predict(features []float64) float64 {
-	y, err := m.PredictChecked(features)
-	if err != nil {
+	if len(features)+1 != len(m.Theta) {
 		return 0
+	}
+	y := m.Theta[0]
+	for i, f := range features {
+		y += m.Theta[i+1] * f
 	}
 	return y
 }
@@ -188,11 +195,7 @@ func (m *Model) PredictChecked(features []float64) (float64, error) {
 		return 0, fmt.Errorf("%w: got %d features, model fits %d",
 			ErrFeatureWidth, len(features), len(m.Theta)-1)
 	}
-	y := m.Theta[0]
-	for i, f := range features {
-		y += m.Theta[i+1] * f
-	}
-	return y, nil
+	return m.Predict(features), nil
 }
 
 // RSquared computes the coefficient of determination of the model over the

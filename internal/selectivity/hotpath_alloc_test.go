@@ -1,0 +1,37 @@
+package selectivity
+
+import (
+	"testing"
+
+	"saqp/internal/histogram"
+	"saqp/internal/query"
+)
+
+var hotSinkFloat float64
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for predicate-selectivity estimation: zero heap allocations per call.
+func TestHotPathAllocs(t *testing.T) {
+	h := histogram.Build([]float64{1, 2, 3, 42, 42, 99}, 0, 100, 8)
+	numCol := &ColStat{Hist: h, Distinct: 5}
+	strCol := &ColStat{Distinct: 5}
+	lt := query.Predicate{Op: query.OpLT, Lit: query.NumLit(50)}
+	eq := query.Predicate{Op: query.OpEQ, Lit: query.NumLit(42)}
+	in := query.Predicate{Op: query.OpIN, Set: []query.Literal{query.NumLit(1), query.NumLit(42)}}
+	seq := query.Predicate{Op: query.OpEQ, Lit: query.StrLit("x")}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"PredSelectivity/range", func() { hotSinkFloat = PredSelectivity(numCol, lt) }},
+		{"PredSelectivity/eq", func() { hotSinkFloat = PredSelectivity(numCol, eq) }},
+		{"inSelectivity", func() { hotSinkFloat = inSelectivity(numCol, in) }},
+		{"stringPredSelectivity", func() { hotSinkFloat = stringPredSelectivity(strCol, seq) }},
+		{"clamp01", func() { hotSinkFloat = clamp01(1.5) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per call; //saqp:hotpath functions must not allocate", c.name, n)
+		}
+	}
+}

@@ -16,7 +16,10 @@ const defaultIneqSel = 1.0 / 3.0
 // against a column with the given statistics. Numeric columns use the
 // equi-width histogram; string columns use distinct counts for equality
 // and the standard 1/3 heuristic for inequalities. IN lists sum the
-// per-member equality selectivities.
+// per-member equality selectivities. Estimation runs once per predicate
+// per plan candidate during admission scoring, so it must not allocate.
+//
+//saqp:hotpath
 func PredSelectivity(cs *ColStat, p query.Predicate) float64 {
 	if cs == nil {
 		return defaultIneqSel
@@ -49,6 +52,8 @@ func PredSelectivity(cs *ColStat, p query.Predicate) float64 {
 }
 
 // inSelectivity sums equality selectivities over an IN list's members.
+//
+//saqp:hotpath
 func inSelectivity(cs *ColStat, p query.Predicate) float64 {
 	var s float64
 	d := cs.Distinct
@@ -66,6 +71,8 @@ func inSelectivity(cs *ColStat, p query.Predicate) float64 {
 }
 
 // stringPredSelectivity handles predicates whose column lacks a histogram.
+//
+//saqp:hotpath
 func stringPredSelectivity(cs *ColStat, p query.Predicate) float64 {
 	d := cs.Distinct
 	if d < 1 {
@@ -204,6 +211,9 @@ func filterColumns(cols map[string]*ColStat, preds []query.Predicate, newRows fl
 	return out
 }
 
+// clamp01 clips a probability estimate into [0, 1].
+//
+//saqp:hotpath
 func clamp01(v float64) float64 {
 	if v < 0 {
 		return 0

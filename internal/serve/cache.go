@@ -52,10 +52,8 @@ func newPlanCache(capacity int) *planCache {
 func (c *planCache) lookup(key string) (e *cacheEntry, owner bool, evicted int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry), false, 0
+	if e, ok := c.hit(key); ok {
+		return e, false, 0
 	}
 	c.misses++
 	e = &cacheEntry{key: key, ready: make(chan struct{})}
@@ -68,6 +66,22 @@ func (c *planCache) lookup(key string) (e *cacheEntry, owner bool, evicted int) 
 		evicted++
 	}
 	return e, true, evicted
+}
+
+// hit returns the cached entry for key, if present, bumping it to the
+// LRU front and counting the hit. It is the steady-state path of every
+// repeated submission — the cache exists so that path is cheap — and
+// must not allocate. Callers must hold c.mu.
+//
+//saqp:hotpath
+func (c *planCache) hit(key string) (*cacheEntry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry), true
 }
 
 // publish closes the entry's ready channel, releasing waiters. Failed

@@ -1,0 +1,23 @@
+package serve
+
+import "testing"
+
+var (
+	hotSinkEntry *cacheEntry
+	hotSinkBool  bool
+)
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for the plan cache's steady-state path: a repeat lookup must not
+// allocate. The miss path (entry construction, eviction) is allowed to.
+func TestHotPathAllocs(t *testing.T) {
+	c := newPlanCache(4)
+	if _, owner, _ := c.lookup("k"); !owner {
+		t.Fatal("first lookup should own the computation")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := testing.AllocsPerRun(100, func() { hotSinkEntry, hotSinkBool = c.hit("k") }); n != 0 {
+		t.Errorf("planCache.hit allocates %.0f times per call; //saqp:hotpath functions must not allocate", n)
+	}
+}

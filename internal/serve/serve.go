@@ -259,6 +259,11 @@ func New(cfg Config) (*Engine, error) {
 // seed drives the query's hidden ground-truth cost model, so a fixed
 // (sql, seed) pair simulates identically regardless of pool scheduling.
 func (e *Engine) Submit(ctx context.Context, sql string, seed uint64) (*Ticket, error) {
+	if ctx == nil {
+		// Normalize once at the API boundary so no downstream path has
+		// to nil-check the ticket's context again.
+		ctx = context.Background() //lint:allow saqpvet/ctxleak nil Submit ctx explicitly opts out of cancellation
+	}
 	o := e.cfg.Observer
 	o.ServeSubmitted()
 	q, err := query.Parse(sql)
@@ -410,18 +415,14 @@ func (e *Engine) next() *Ticket {
 // cap is retried up to MaxRetries times, each retry on a rebuilt query
 // and a re-salted plan, before the typed error is delivered.
 func (e *Engine) run(t *Ticket) {
-	if t.ctx != nil {
-		select {
-		case <-t.ctx.Done():
-			e.finish(t, Result{}, t.ctx.Err())
-			return
-		default:
-		}
+	// Submit normalized the context, so t.ctx is never nil here.
+	select {
+	case <-t.ctx.Done():
+		e.finish(t, Result{}, t.ctx.Err())
+		return
+	default:
 	}
 	ctx := t.ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	maxRetries := e.cfg.MaxRetries
 	if e.cfg.Cluster.Faults == nil {
 		maxRetries = 0
