@@ -33,7 +33,7 @@ lint-self:
 bench-alloc:
 	$(GO) test -count=1 -run TestHotPathAllocs \
 		./internal/mapreduce ./internal/selectivity ./internal/histogram \
-		./internal/dataset ./internal/predict ./internal/serve
+		./internal/dataset ./internal/predict ./internal/serve ./internal/obs
 
 test:
 	$(GO) test ./...
@@ -65,13 +65,18 @@ cover-serve:
 		{ echo "coverage below floor"; exit 1; }
 
 # Open-loop serving benchmark: 1000 TPC-H submissions from 16 concurrent
-# submitters through one saqp.Server; fails on any lost completion or a
-# cache hit-rate at or below 50%. Writes bench-out/BENCH_serve.json.
+# submitters through one saqp.Server with request tracing and SLO
+# burn-rate tracking on; fails on any lost completion or a cache
+# hit-rate at or below 50%. Writes bench-out/BENCH_serve.json and the
+# retained span trees, and prints a delta against the committed
+# baseline in testdata/bench_baseline/.
 SERVE_QUERIES ?= 1000
 bench-serve:
 	@mkdir -p bench-out
 	$(GO) run -race ./cmd/benchrunner -serve -serve-queries $(SERVE_QUERIES) \
-		-concurrency 16 -bench-out bench-out
+		-concurrency 16 -bench-out bench-out \
+		-spans bench-out/serve_spans.json \
+		-baseline testdata/bench_baseline/BENCH_serve.json
 
 # Fault-injection replay: the TPC-H set under the default deterministic
 # fault plan (node crashes, slowdown windows, transient task failures).
@@ -110,4 +115,4 @@ bench:
 ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-fault bench-learn
 
 clean:
-	rm -rf $(BIN) bench-out
+	rm -rf $(BIN) bench-out obs-out lint-out

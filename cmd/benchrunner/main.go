@@ -50,14 +50,18 @@ func main() {
 		learnPointEvery = flag.Int("learn-point-every", 25, "learn: job-sample stride between convergence points")
 		learnGate       = flag.Float64("learn-gate", 1.10, "learn: exit nonzero when final challenger err exceeds batch err times this factor (CI gate; 0 disables)")
 
-		serveMode    = flag.Bool("serve", false, "run the concurrent serving benchmark instead of the paper experiments")
-		concurrency  = flag.Int("concurrency", 16, "serve: submitter goroutines")
-		qps          = flag.Float64("qps", 0, "serve: open-loop arrival rate in queries/sec (0 = closed-loop)")
-		serveQueries = flag.Int("serve-queries", 1000, "serve: total submissions")
-		serveWorkers = flag.Int("serve-workers", 4, "serve: simulator pool size")
-		serveCache   = flag.Int("serve-cache", 256, "serve: plan/estimate cache entries")
-		serveSched   = flag.String("serve-sched", "SWRD", "serve: pool scheduler (HCS|HFS|SWRD)")
-		serveTimeout = flag.Duration("serve-timeout", 0, "serve: per-query wall-clock timeout (0 = none)")
+		serveMode     = flag.Bool("serve", false, "run the concurrent serving benchmark instead of the paper experiments")
+		concurrency   = flag.Int("concurrency", 16, "serve: submitter goroutines")
+		qps           = flag.Float64("qps", 0, "serve: open-loop arrival rate in queries/sec (0 = closed-loop)")
+		serveQueries  = flag.Int("serve-queries", 1000, "serve: total submissions")
+		serveWorkers  = flag.Int("serve-workers", 4, "serve: simulator pool size")
+		serveCache    = flag.Int("serve-cache", 256, "serve: plan/estimate cache entries")
+		serveSched    = flag.String("serve-sched", "SWRD", "serve: pool scheduler (HCS|HFS|SWRD)")
+		serveTimeout  = flag.Duration("serve-timeout", 0, "serve: per-query wall-clock timeout (0 = none)")
+		serveAdmin    = flag.String("admin", "", "serve: host the live introspection endpoint (/metrics /spans /slo /debug/pprof) on this address for the benchmark's duration")
+		serveLinger   = flag.Duration("admin-linger", 0, "serve: keep the server and admin endpoint alive this long after the benchmark finishes (SIGINT/SIGTERM ends it early)")
+		serveSpans    = flag.String("spans", "", "serve: record request span trees and write them as JSON to this file")
+		serveBaseline = flag.String("baseline", "", "serve: print a delta of this run against a committed BENCH_serve.json baseline")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -122,6 +126,10 @@ func main() {
 			Scheduler:   *serveSched,
 			Seed:        *seed,
 			Timeout:     *serveTimeout,
+			Admin:       *serveAdmin,
+			Linger:      *serveLinger,
+			SpansOut:    *serveSpans,
+			Baseline:    *serveBaseline,
 		}
 		if err := serveBench(sc, *benchDir); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"saqp"
@@ -24,6 +26,11 @@ type serveConfig struct {
 	Scheduler   string  // pool scheduler name
 	Seed        uint64
 	Timeout     time.Duration // per-query wall-clock timeout; 0 = none
+
+	Admin    string        // admin endpoint address; "" = no admin server
+	Linger   time.Duration // keep the server up this long after the bench
+	SpansOut string        // span-tree JSON output path; "" = spans off unless Admin is set
+	Baseline string        // committed BENCH_serve.json to diff against; "" = no diff
 }
 
 // serveReport is BENCH_serve.json: wall-clock serving performance plus
@@ -53,6 +60,13 @@ type serveReport struct {
 	Lost         int64   `json:"lost_completions"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
+	SpansStarted  uint64  `json:"spans_started"`
+	SpansFinished uint64  `json:"spans_finished"`
+	SLOFastBurn   float64 `json:"slo_fast_burn"`
+	SLOSlowBurn   float64 `json:"slo_slow_burn"`
+	SLOFiring     bool    `json:"slo_firing"`
+	SLOAlerts     int     `json:"slo_alerts"`
+
 	Metrics saqp.RegistrySnapshot `json:"metrics"`
 }
 
@@ -62,6 +76,12 @@ type serveReport struct {
 // goroutines, each of which submits and waits for its completion. Wall
 // clock is measured only here — the engine itself is clock-free.
 func serveBench(sc serveConfig, benchDir string) error {
+	// Register the signal handler before any work so a SIGTERM arriving
+	// mid-benchmark is buffered and ends the linger window immediately.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	fmt.Printf("Building framework and training models for serving...\n")
 	fw, err := saqp.NewFramework(saqp.Options{Observer: saqp.NewObserver(nil)})
 	if err != nil {
@@ -75,9 +95,15 @@ func serveBench(sc serveConfig, benchDir string) error {
 		CacheSize:    sc.CacheSize,
 		Scheduler:    sc.Scheduler,
 		QueryTimeout: sc.Timeout,
+		TraceSpans:   sc.SpansOut != "",
+		SLO:          &saqp.SLOConfig{},
+		AdminAddr:    sc.Admin,
 	})
 	if err != nil {
 		return err
+	}
+	if sc.Admin != "" {
+		fmt.Printf("admin endpoint: %s (/metrics /spans /slo /statz /debug/pprof)\n", srv.AdminURL())
 	}
 
 	names := saqp.TPCHNames()
@@ -147,9 +173,6 @@ func serveBench(sc serveConfig, benchDir string) error {
 		}()
 	}
 	wg.Wait()
-	if err := srv.Close(); err != nil {
-		return err
-	}
 	wall := time.Since(begin).Seconds()
 
 	st := srv.Stats()
@@ -194,6 +217,13 @@ func serveBench(sc serveConfig, benchDir string) error {
 		Lost:         lost,
 		CacheHitRate: st.HitRate(),
 
+		SpansStarted:  st.SpansStarted,
+		SpansFinished: st.SpansFinished,
+		SLOFastBurn:   st.SLOFastBurn,
+		SLOSlowBurn:   st.SLOSlowBurn,
+		SLOFiring:     st.SLOFiring,
+		SLOAlerts:     st.SLOAlerts,
+
 		Metrics: fw.Obs.Metrics.Snapshot(),
 	}
 
@@ -202,6 +232,17 @@ func serveBench(sc serveConfig, benchDir string) error {
 		r.LatencyP50Ms, r.LatencyP95Ms, r.LatencyP99Ms, r.LatencyMaxMs)
 	fmt.Printf("cache hit-rate %.1f%% (%d hits / %d misses, %d evictions)\n",
 		100*r.CacheHitRate, st.CacheHits, st.CacheMisses, st.CacheEvictions)
+	if r.SpansStarted > 0 {
+		fmt.Printf("spans %d started / %d finished\n", r.SpansStarted, r.SpansFinished)
+	}
+	fmt.Printf("SLO burn fast=%.2f slow=%.2f firing=%v alerts=%d\n",
+		r.SLOFastBurn, r.SLOSlowBurn, r.SLOFiring, r.SLOAlerts)
+
+	if sc.SpansOut != "" {
+		if err := writeSpans(srv, sc.SpansOut); err != nil {
+			return err
+		}
+	}
 
 	if benchDir != "" {
 		data, err := json.MarshalIndent(r, "", "  ")
@@ -213,6 +254,27 @@ func serveBench(sc serveConfig, benchDir string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	if sc.Baseline != "" {
+		if err := printBaselineDelta(sc.Baseline, r); err != nil {
+			return err
+		}
+	}
+
+	// Hold the server (and with it the admin endpoint) open so a live
+	// process can be inspected after the load finishes; a buffered
+	// SIGINT/SIGTERM — even one delivered mid-benchmark — ends the window
+	// immediately, and the server still shuts down gracefully.
+	if sc.Linger > 0 {
+		fmt.Printf("lingering %s before shutdown (SIGINT/SIGTERM to end early)...\n", sc.Linger)
+		select {
+		case <-time.After(sc.Linger):
+		case s := <-sig:
+			fmt.Printf("caught %v: shutting down\n", s)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return err
 	}
 
 	// Fail loudly so CI catches regressions: no completion may be lost,
@@ -227,5 +289,65 @@ func serveBench(sc serveConfig, benchDir string) error {
 	if sc.Queries >= 50 && r.CacheHitRate <= 0.5 {
 		return fmt.Errorf("serve: cache hit-rate %.2f below 0.5 floor", r.CacheHitRate)
 	}
+	return nil
+}
+
+// writeSpans dumps the server's retained span trees as JSON to path,
+// creating the parent directory if needed.
+func writeSpans(srv *saqp.Server, path string) error {
+	sp := srv.Spans()
+	if sp == nil {
+		return fmt.Errorf("serve: -spans set but tracing is off")
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sp.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	c := sp.Counts()
+	fmt.Printf("wrote %d span trees to %s (%d started, %d evicted)\n",
+		c.Retained, path, c.Started, c.Evicted)
+	return nil
+}
+
+// printBaselineDelta diffs this run's headline numbers against a
+// committed BENCH_serve.json. Wall-clock figures vary across machines,
+// so the delta is informational — the deterministic counters (cache
+// hit-rate, span counts, SLO state) are the ones worth eyeballing.
+func printBaselineDelta(path string, r serveReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: reading baseline: %w", err)
+	}
+	var base serveReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("serve: parsing baseline %s: %w", path, err)
+	}
+	fmt.Printf("delta vs baseline %s:\n", path)
+	row := func(name string, cur, old float64) {
+		d := 0.0
+		if old != 0 {
+			d = 100 * (cur - old) / old
+		}
+		fmt.Printf("  %-18s %10.2f  baseline %10.2f  (%+.1f%%)\n", name, cur, old, d)
+	}
+	row("throughput q/s", r.ThroughputQPS, base.ThroughputQPS)
+	row("latency p50 ms", r.LatencyP50Ms, base.LatencyP50Ms)
+	row("latency p95 ms", r.LatencyP95Ms, base.LatencyP95Ms)
+	row("latency p99 ms", r.LatencyP99Ms, base.LatencyP99Ms)
+	row("cache hit-rate", r.CacheHitRate, base.CacheHitRate)
+	row("spans finished", float64(r.SpansFinished), float64(base.SpansFinished))
+	row("slo alerts", float64(r.SLOAlerts), float64(base.SLOAlerts))
 	return nil
 }

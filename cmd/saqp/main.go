@@ -15,12 +15,24 @@
 // metrics dump. Both outputs are deterministic for a fixed -seed.
 //
 //	saqp -query "..." -trace run.trace.json -metrics run.prom
+//
+// With -admin the query is served through the concurrent serving engine
+// instead, and the process stays up hosting the live introspection
+// endpoint (/metrics, /spans, /slo, /statz, /debug/pprof) until
+// SIGINT/SIGTERM:
+//
+//	saqp -query "..." -admin :8080
+//	curl localhost:8080/metrics
+//	curl localhost:8080/spans
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"saqp"
@@ -39,6 +51,7 @@ func main() {
 		seed      = flag.Uint64("seed", 2018, "cost-model seed for the simulated run")
 		faults    = flag.Bool("faults", false, "inject the default deterministic fault plan into the simulated run (crashes, slowdowns, transient task failures)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault plan used with -faults")
+		admin     = flag.String("admin", "", "serve the query through the serving engine and host the live introspection endpoint on this address (host:port) until SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *sql == "" {
@@ -50,14 +63,14 @@ func main() {
 	if *faults {
 		fp = saqp.NewFaultPlan(saqp.DefaultFaultSpec(*faultSeed))
 	}
-	if err := run(*sql, *sf, *train, *queries, *models, *traceOut, *promOut, *schedler, *seed, fp); err != nil {
+	if err := run(*sql, *sf, *train, *queries, *models, *traceOut, *promOut, *schedler, *seed, fp, *admin); err != nil {
 		fmt.Fprintln(os.Stderr, "saqp:", err)
 		os.Exit(1)
 	}
 }
 
 func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
-	traceOut, promOut, scheduler string, seed uint64, fp *saqp.FaultPlan) error {
+	traceOut, promOut, scheduler string, seed uint64, fp *saqp.FaultPlan, admin string) error {
 	var o *saqp.Observer
 	var traceFile *os.File
 	if traceOut != "" || promOut != "" {
@@ -110,7 +123,10 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
 
 	if !train && fw.TaskTime == nil {
 		fmt.Println("\n(run with -train to predict execution time and WRD)")
-		return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed, fp)
+		if err := simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed, fp); err != nil {
+			return err
+		}
+		return serveAdmin(fw, sql, scheduler, seed, admin)
 	}
 	if train {
 		fmt.Printf("\nTraining time models on %d synthetic queries...\n", trainQueries)
@@ -150,7 +166,47 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
 		}
 		fmt.Printf("  %s predicted job time (Eq. 8): %.1f s\n", je.Job.ID, js)
 	}
-	return simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed, fp)
+	if err := simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed, fp); err != nil {
+		return err
+	}
+	return serveAdmin(fw, sql, scheduler, seed, admin)
+}
+
+// serveAdmin serves the query once through the concurrent serving engine
+// with tracing and SLO tracking on, then holds the process (and the
+// admin introspection endpoint) open until SIGINT/SIGTERM. A no-op when
+// addr is empty.
+func serveAdmin(fw *saqp.Framework, sql, scheduler string, seed uint64, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	srv, err := fw.NewServer(saqp.ServerOptions{
+		Scheduler: scheduler,
+		AdminAddr: addr,
+	})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	tk, err := srv.Submit(ctx, sql, seed)
+	if err != nil {
+		return err
+	}
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nServed query through the engine: %.1f s simulated (%d attempt(s))\n",
+		res.SimSec, res.Attempts)
+	fmt.Printf("admin endpoint live at %s — try:\n", srv.AdminURL())
+	fmt.Printf("  curl %s/metrics\n  curl %s/spans\n  curl %s/slo\n", srv.AdminURL(), srv.AdminURL(), srv.AdminURL())
+	fmt.Println("Ctrl-C (SIGINT/SIGTERM) to shut down.")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	<-sig
+	fmt.Println("shutting down")
+	return srv.Close()
 }
 
 // simulate runs the estimated query on the simulated cluster when an

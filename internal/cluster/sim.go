@@ -493,7 +493,7 @@ func (s *Sim) finish(e *event) {
 			s.refund(t.origEnd)
 			s.releaseSlot(t.slot, t.Reduce)
 			s.fstats.SpeculativeCancels++
-			s.obs.SpeculativeCanceled(s.now, j.Query.ID, j.ID, t.Reduce, t.Index, t.slot)
+			s.obs.SpeculativeCanceled(s.now, t.StartTime, j.Query.ID, j.ID, t.Reduce, t.Index, t.slot)
 		}
 	} else {
 		t.epochO++
@@ -504,7 +504,7 @@ func (s *Sim) finish(e *event) {
 			s.refund(t.specEnd)
 			s.releaseSlot(t.specSlot, t.Reduce)
 			s.fstats.SpeculativeCancels++
-			s.obs.SpeculativeCanceled(s.now, j.Query.ID, j.ID, t.Reduce, t.Index, t.specSlot)
+			s.obs.SpeculativeCanceled(s.now, t.specStart, j.Query.ID, j.ID, t.Reduce, t.Index, t.specSlot)
 		}
 	}
 	t.State = TaskDone

@@ -45,6 +45,9 @@ func (o *Observer) TaskFailed(now, start float64, query, job, jobType string, re
 	if o.Metrics != nil {
 		o.Metrics.Counter(MTaskFailures).Inc()
 	}
+	if o.Spans != nil {
+		o.Spans.taskFailed(now, start, job, reduce, index, node, attempt, backoffSec)
+	}
 	if o.Trace != nil {
 		pid := PidMapSlots
 		if reduce {
@@ -70,6 +73,10 @@ func (o *Observer) NodeCrashed(now float64, node, killedAttempts int) {
 	if o.Metrics != nil {
 		o.Metrics.Counter(MNodeCrashes).Inc()
 	}
+	if o.Spans != nil {
+		o.Spans.nodeEvent(now, "crash node "+itoa(node),
+			AttrInt("killed_attempts", killedAttempts))
+	}
 	if o.Trace != nil {
 		o.Trace.Instant(PidFaults, node, now, "crash node "+itoa(node), "fault",
 			Arg{"killed_attempts", killedAttempts})
@@ -83,6 +90,9 @@ func (o *Observer) NodeRecovered(now float64, node int) {
 	}
 	if o.Metrics != nil {
 		o.Metrics.Counter(MNodeRecoveries).Inc()
+	}
+	if o.Spans != nil {
+		o.Spans.nodeEvent(now, "recover node "+itoa(node))
 	}
 	if o.Trace != nil {
 		o.Trace.Instant(PidFaults, node, now, "recover node "+itoa(node), "fault")
@@ -98,6 +108,10 @@ func (o *Observer) NodeBlacklisted(now float64, node, failures int) {
 	if o.Metrics != nil {
 		o.Metrics.Counter(MNodeBlacklists).Inc()
 	}
+	if o.Spans != nil {
+		o.Spans.nodeEvent(now, "blacklist node "+itoa(node),
+			AttrInt("task_failures", failures))
+	}
 	if o.Trace != nil {
 		o.Trace.Instant(PidFaults, node, now, "blacklist node "+itoa(node), "fault",
 			Arg{"task_failures", failures})
@@ -106,13 +120,18 @@ func (o *Observer) NodeBlacklisted(now float64, node, failures int) {
 
 // SpeculativeCanceled records the losing attempt of a speculative race
 // being cancelled the moment the winner finishes, freeing its slot.
-func (o *Observer) SpeculativeCanceled(now float64, query, job string, reduce bool,
+// start is when the losing attempt was dispatched, so span trees can
+// show the slot time the loser burned.
+func (o *Observer) SpeculativeCanceled(now, start float64, query, job string, reduce bool,
 	index, slot int) {
 	if o == nil {
 		return
 	}
 	if o.Metrics != nil {
 		o.Metrics.Counter(MSpeculativeCancels).Inc()
+	}
+	if o.Spans != nil {
+		o.Spans.speculativeCanceled(now, start, job, reduce, index, slot)
 	}
 	if o.Trace != nil {
 		pid := PidMapSlots
@@ -136,6 +155,9 @@ func (o *Observer) QueryFailed(now, arrival float64, id, reason string) {
 	}
 	if o.Metrics != nil {
 		o.Metrics.Counter(MQueryFailures).Inc()
+	}
+	if o.Spans != nil {
+		o.Spans.queryFailed(now, reason)
 	}
 	if o.Trace != nil {
 		pid := o.pidOf(id)

@@ -1,0 +1,24 @@
+package obs_test
+
+import (
+	"testing"
+
+	"saqp/internal/obs"
+)
+
+var hotSinkAccepted bool
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for the histogram observation path: recording a sample — with or
+// without an exemplar trace id — must not allocate, since it runs once
+// per served completion.
+func TestHotPathAllocs(t *testing.T) {
+	h := obs.NewRegistry().Histogram("saqp_test_hotpath_seconds", nil)
+	id := obs.TraceID("select 1", "cat", 1)
+	if n := testing.AllocsPerRun(200, func() { hotSinkAccepted = h.Observe(3) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.0f times per call; //saqp:hotpath functions must not allocate", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { hotSinkAccepted = h.ObserveExemplar(3, id) }); n != 0 {
+		t.Errorf("Histogram.ObserveExemplar allocates %.0f times per call; //saqp:hotpath functions must not allocate", n)
+	}
+}

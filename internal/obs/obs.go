@@ -5,13 +5,17 @@ import (
 	"strings"
 )
 
-// Observer bundles the three sinks behind the instrumentation seam the
+// Observer bundles the sinks behind the instrumentation seam the
 // simulator and scheduler call into. Any field may be nil to disable
 // that sink; a nil *Observer disables everything.
 type Observer struct {
 	Metrics *Registry
 	Trace   *TraceSink
 	Drift   *DriftRecorder
+	// Spans collects one simulator attempt's request-scoped spans; the
+	// serving engine attaches a spans-only Observer to each pool
+	// simulator when tracing is enabled (see span.go).
+	Spans *SpanCollector
 
 	// run namespaces per-query trace processes so repeated query ids
 	// (the same workload replayed under several schedulers) get distinct
@@ -197,6 +201,9 @@ func (o *Observer) JobSubmitted(now, ready float64, query, job, jobType string, 
 	if o.Metrics != nil {
 		o.Metrics.Counter(MJobsSubmitted).Inc()
 	}
+	if o.Spans != nil {
+		o.Spans.jobSubmitted(now, ready, job, jobType, maps, reds)
+	}
 	if o.Trace != nil {
 		pid, tid := o.tidOf(query, job, jobType)
 		o.Trace.Instant(pid, tid, now, "submit", "job",
@@ -213,6 +220,9 @@ func (o *Observer) JobFinished(now, submit float64, query, job, jobType string) 
 	if o.Metrics != nil {
 		o.Metrics.Counter(MJobsCompleted).Inc()
 		o.Metrics.Histogram(MJobRuntimeSec, nil).Observe(now - submit)
+	}
+	if o.Spans != nil {
+		o.Spans.jobFinished(now, job)
 	}
 	if o.Trace != nil {
 		pid, tid := o.tidOf(query, job, jobType)
@@ -259,6 +269,10 @@ func (o *Observer) TaskFinished(now, start float64, query, job, jobType string, 
 	if o.Drift != nil {
 		o.Drift.RecordTask(jobType, reduce, predSec, now-start, faulted)
 	}
+	if o.Spans != nil {
+		o.Spans.taskFinished(now, start, job, reduce, index, node, slot,
+			predSec, speculated, faulted)
+	}
 	if o.Trace != nil {
 		pid := PidMapSlots
 		if reduce {
@@ -281,7 +295,13 @@ func taskName(job string, reduce bool, index int) string {
 // ShuffleReady records a job's map phase completing, releasing its
 // hoarding reduces.
 func (o *Observer) ShuffleReady(now float64, query, job, jobType string, released int) {
-	if o == nil || o.Trace == nil {
+	if o == nil {
+		return
+	}
+	if o.Spans != nil {
+		o.Spans.shuffleReady(now, job, released)
+	}
+	if o.Trace == nil {
 		return
 	}
 	pid, tid := o.tidOf(query, job, jobType)
@@ -297,6 +317,9 @@ func (o *Observer) ReducePreempted(now float64, query, job string, index, slot i
 	if o.Metrics != nil {
 		o.Metrics.Counter(MReducePreemptions).Inc()
 	}
+	if o.Spans != nil {
+		o.Spans.reducePreempted(now, job, index, slot, waitedSec)
+	}
 	if o.Trace != nil {
 		o.Trace.Instant(PidReduceSlots, slot, now, "preempt "+taskName(job, true, index),
 			"cluster", Arg{"query", query}, Arg{"hoarded_sec", waitedSec})
@@ -311,6 +334,9 @@ func (o *Observer) SpeculativeLaunched(now float64, query, job string, reduce bo
 	}
 	if o.Metrics != nil {
 		o.Metrics.Counter(MSpeculativeLaunches).Inc()
+	}
+	if o.Spans != nil {
+		o.Spans.speculativeLaunched(now, job, reduce, index, origNode, slot)
 	}
 	if o.Trace != nil {
 		pid := PidMapSlots
@@ -352,6 +378,9 @@ func (o *Observer) SchedulerDecision(now float64, scheduler string, reduce bool,
 		if picked == "" {
 			o.Metrics.Counter(MSchedIdleDecisions).Inc()
 		}
+	}
+	if o.Spans != nil {
+		o.Spans.decision(now, scheduler, reduce, picked, len(cands))
 	}
 	if o.Trace == nil {
 		return

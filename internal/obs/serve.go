@@ -5,13 +5,13 @@ package obs
 // plan/estimate cache hits and misses, SWRD admission queue depth,
 // in-flight pool occupancy, and per-query simulated response times.
 //
-// Serve metrics are deliberately metrics-only (no trace events): the
-// engine has no global virtual clock — each admitted query runs on its
-// own pool simulator — so there is no meaningful shared timeline to
-// place spans on. Every value recorded here is either a count or a
-// simulated duration, both deterministic for a fixed seed set, which
-// preserves the layer's byte-identical-snapshot guarantee under
-// serialized submission order.
+// Serve metrics carry no shared-timeline trace events: the engine has
+// no global virtual clock — each admitted query runs on its own pool
+// simulator. Per-request causality lives in the span trees instead
+// (span.go), which re-base each attempt onto a per-request timeline.
+// Every value recorded here is either a count or a simulated duration,
+// both deterministic for a fixed seed set, which preserves the layer's
+// byte-identical-snapshot guarantee under serialized submission order.
 
 // Serve metric names.
 const (
@@ -74,13 +74,15 @@ func (o *Observer) ServeDequeued(queueDepth, inflight int) {
 }
 
 // ServeCompleted records a successfully served query: its simulated
-// response time and the remaining in-flight count.
-func (o *Observer) ServeCompleted(simResponseSec float64, inflight int) {
+// response time and the remaining in-flight count. A non-empty traceID
+// links the latency histogram's worst-per-bucket exemplar to the
+// query's span tree.
+func (o *Observer) ServeCompleted(simResponseSec float64, inflight int, traceID string) {
 	if o == nil || o.Metrics == nil {
 		return
 	}
 	o.Metrics.Counter(MServeCompletions).Inc()
-	o.Metrics.Histogram(MServeSimResponseSec, nil).Observe(simResponseSec)
+	o.Metrics.Histogram(MServeSimResponseSec, nil).ObserveExemplar(simResponseSec, traceID)
 	o.Metrics.Gauge(MServeInflight).Set(float64(inflight))
 }
 

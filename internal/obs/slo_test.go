@@ -1,0 +1,158 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"saqp/internal/obs"
+)
+
+func TestSLOConfigDefaults(t *testing.T) {
+	cfg := obs.NewSLOTracker(obs.SLOConfig{Name: "SWRD"}).Config()
+	if cfg.Name != "SWRD" {
+		t.Errorf("name = %q, want SWRD", cfg.Name)
+	}
+	if cfg.LatencyObjectiveSec != obs.DefSLOLatencySec ||
+		cfg.Target != obs.DefSLOTarget ||
+		cfg.FastWindowSec != obs.DefSLOFastWindowSec ||
+		cfg.SlowWindowSec != obs.DefSLOSlowWindowSec ||
+		cfg.FastBurnThreshold != obs.DefSLOFastBurn ||
+		cfg.SlowBurnThreshold != obs.DefSLOSlowBurn {
+		t.Errorf("zero config not filled with defaults: %+v", cfg)
+	}
+	// A slow window shorter than the fast window is clamped up.
+	cfg = obs.NewSLOTracker(obs.SLOConfig{FastWindowSec: 600, SlowWindowSec: 60}).Config()
+	if cfg.SlowWindowSec != 600 {
+		t.Errorf("slow window = %g, want clamped to fast window 600", cfg.SlowWindowSec)
+	}
+}
+
+// controlledSLO is small enough to drive fire/resolve transitions by
+// hand: objective 10s, 50% target (budget 0.5), both windows 100
+// virtual seconds, both thresholds 1.5.
+func controlledSLO() obs.SLOConfig {
+	return obs.SLOConfig{
+		Name:                "test",
+		LatencyObjectiveSec: 10,
+		Target:              0.5,
+		FastWindowSec:       100,
+		SlowWindowSec:       100,
+		FastBurnThreshold:   1.5,
+		SlowBurnThreshold:   1.5,
+	}
+}
+
+func TestSLOTrackerFireAndResolve(t *testing.T) {
+	tr := obs.NewSLOTracker(controlledSLO())
+
+	// One bad sample (latency over the objective): bad fraction 1,
+	// burn 1/0.5 = 2 ≥ 1.5 on both windows → fires.
+	st := tr.Record(20, false)
+	if !st.Bad || !st.Firing || !st.Transition {
+		t.Fatalf("bad sample should fire: %+v", st)
+	}
+	if st.FastBurn != 2 || st.SlowBurn != 2 {
+		t.Fatalf("burn = %g/%g, want 2/2", st.FastBurn, st.SlowBurn)
+	}
+
+	// One good sample: bad fraction 1/2, burn 1 < 1.5 → resolves.
+	st = tr.Record(1, false)
+	if st.Bad || st.Firing || !st.Transition {
+		t.Fatalf("good sample should resolve: %+v", st)
+	}
+
+	// A failed query is bad regardless of latency.
+	if st = tr.Record(1, true); !st.Bad {
+		t.Fatalf("failed query not classified bad: %+v", st)
+	}
+
+	alerts := tr.Alerts()
+	if len(alerts) != 2 || alerts[0].State != "fire" || alerts[1].State != "resolve" {
+		t.Fatalf("alert log = %+v, want [fire resolve]", alerts)
+	}
+	if alerts[0].AtVirtualSec != 20 || alerts[1].AtVirtualSec != 21 {
+		t.Errorf("alert times = %g, %g, want 20, 21 (virtual clock = cumulative latency)",
+			alerts[0].AtVirtualSec, alerts[1].AtVirtualSec)
+	}
+}
+
+func TestSLOTrackerWindowPruning(t *testing.T) {
+	// A high latency objective keeps classification purely on the failed
+	// flag, so big clock advances don't also flip samples bad.
+	cfg := controlledSLO()
+	cfg.LatencyObjectiveSec = 1000
+	tr := obs.NewSLOTracker(cfg)
+
+	st := tr.Record(60, true) // bad at t=60
+	if !st.Bad || st.FastBurn != 2 {
+		t.Fatalf("bad sample burn = %g, want 2: %+v", st.FastBurn, st)
+	}
+	// t=120, cut=20: the bad sample is still in-window → burn 1/2/0.5 = 1.
+	if st = tr.Record(60, false); st.FastBurn != 1 {
+		t.Fatalf("burn = %g, want 1 with the bad sample still in-window", st.FastBurn)
+	}
+	// t=180, cut=80: the t=60 bad sample ages out → burn 0.
+	if st = tr.Record(60, false); st.FastBurn != 0 {
+		t.Fatalf("burn = %g, want 0 after the bad sample aged out", st.FastBurn)
+	}
+	snap := tr.Snapshot()
+	if snap.WindowSamples != 2 {
+		t.Errorf("window samples = %d, want 2 (one pruned)", snap.WindowSamples)
+	}
+	if snap.Good != 2 || snap.Bad != 1 {
+		t.Errorf("lifetime good/bad = %d/%d, want 2/1 (pruning never forgets totals)",
+			snap.Good, snap.Bad)
+	}
+}
+
+func TestSLOSnapshotDeterministic(t *testing.T) {
+	run := func() []byte {
+		tr := obs.NewSLOTracker(controlledSLO())
+		tr.Record(20, false)
+		tr.Record(1, false)
+		tr.Record(3, true)
+		b, err := tr.SnapshotJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("identical replays snapshot differently")
+	}
+	// An untouched tracker must serialise alerts as [], not null, so the
+	// admin endpoint's golden responses stay stable.
+	b, err := obs.NewSLOTracker(controlledSLO()).SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"alerts": null`)) {
+		t.Fatalf("empty alert log serialised as null:\n%s", b)
+	}
+}
+
+func TestSLORecordedPublishesMetrics(t *testing.T) {
+	o := obs.New(nil)
+	o.SLORecorded(obs.SLOState{FastBurn: 2, SlowBurn: 1.5, Firing: true, Transition: true, Bad: true})
+	o.SLORecorded(obs.SLOState{FastBurn: 0.5, SlowBurn: 1, Firing: false, Transition: true, Bad: false})
+	m := o.Metrics
+	if v := m.Counter(obs.MSLOBadTotal).Value(); v != 1 {
+		t.Errorf("%s = %g, want 1", obs.MSLOBadTotal, v)
+	}
+	if v := m.Counter(obs.MSLOGoodTotal).Value(); v != 1 {
+		t.Errorf("%s = %g, want 1", obs.MSLOGoodTotal, v)
+	}
+	if v := m.Counter(obs.MSLOTransitions).Value(); v != 2 {
+		t.Errorf("%s = %g, want 2", obs.MSLOTransitions, v)
+	}
+	if v := m.Gauge(obs.MSLOFiring).Value(); v != 0 {
+		t.Errorf("%s = %g, want 0 after the resolve", obs.MSLOFiring, v)
+	}
+	if v := m.Gauge(obs.MSLOFastBurn).Value(); v != 0.5 {
+		t.Errorf("%s = %g, want 0.5", obs.MSLOFastBurn, v)
+	}
+	// Nil-safe: a metrics-less observer must not panic.
+	(&obs.Observer{}).SLORecorded(obs.SLOState{})
+	var nilObs *obs.Observer
+	nilObs.SLORecorded(obs.SLOState{})
+}

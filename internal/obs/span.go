@@ -1,0 +1,547 @@
+package obs
+
+// Request-scoped tracing: deterministic span trees that tie one served
+// submission's full causal chain together — plan-cache lookup, SWRD
+// admission, every simulator attempt (jobs, tasks, fault retries,
+// speculative losers, scheduler decisions), and the learn feedback.
+//
+// Determinism contract: trace ids derive from the query fingerprint and
+// the engine submission index, timestamps are virtual simulator seconds
+// re-based onto a single per-request timeline (attempt k starts where
+// attempt k-1 ended), and attributes are ordered slices — so a seeded
+// serialized replay serialises byte-identically.
+//
+// The pieces compose as
+//
+//	SpanCollector  per simulator attempt, fed by the Observer callbacks
+//	QuerySpan      per submission, merges collectors under one root
+//	SpanStore      bounded ring of finished trees, JSON + Chrome export
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Span kinds, from root to leaf of a request tree.
+const (
+	// SpanKindQuery is the root span of one served submission.
+	SpanKindQuery = "query"
+	// SpanKindCache marks the plan/estimate cache lookup.
+	SpanKindCache = "cache"
+	// SpanKindAdmission marks SWRD admission-queue entry.
+	SpanKindAdmission = "admission"
+	// SpanKindAttempt is one pool-simulator run (1 + fault retries).
+	SpanKindAttempt = "attempt"
+	// SpanKindJob is one MapReduce job inside an attempt.
+	SpanKindJob = "job"
+	// SpanKindTask is one task attempt (including speculative losers).
+	SpanKindTask = "task"
+	// SpanKindSched is a scheduler PickJob decision.
+	SpanKindSched = "sched"
+	// SpanKindFault is an injected fault or recovery event.
+	SpanKindFault = "fault"
+	// SpanKindFeedback marks the learn-registry feedback of observed times.
+	SpanKindFeedback = "feedback"
+)
+
+// Attr is one ordered key/value pair on a span. Values are rendered to
+// strings at record time so serialisation needs no reflection and two
+// identical runs marshal byte-identically.
+type Attr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// AttrStr builds a string-valued span attribute.
+func AttrStr(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// AttrInt builds an integer-valued span attribute.
+func AttrInt(k string, v int) Attr { return Attr{Key: k, Val: strconv.Itoa(v)} }
+
+// AttrFloat builds a float-valued span attribute (shortest round-trip
+// formatting, matching the metrics exposition).
+func AttrFloat(k string, v float64) Attr { return Attr{Key: k, Val: fnum(v)} }
+
+// AttrBool builds a boolean-valued span attribute.
+func AttrBool(k string, v bool) Attr { return Attr{Key: k, Val: strconv.FormatBool(v)} }
+
+// Span is one node of a request-scoped trace tree. IDs index the tree's
+// flat span slice; Parent is -1 for the root. Times are virtual seconds
+// on the request's merged timeline.
+type Span struct {
+	ID     int     `json:"id"`
+	Parent int     `json:"parent"`
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name"`
+	Start  float64 `json:"start_sec"`
+	End    float64 `json:"end_sec"`
+	Attrs  []Attr  `json:"attrs,omitempty"`
+}
+
+// SpanTree is one submission's complete span record.
+type SpanTree struct {
+	TraceID string `json:"trace_id"`
+	Spans   []Span `json:"spans"`
+}
+
+// TraceID derives the deterministic request trace id: the FNV-64a hash
+// of the normalized SQL and the catalog fingerprint (the plan-cache key
+// material), joined with the engine-assigned submission index. The same
+// query text resubmitted gets a new suffix but keeps its fingerprint
+// prefix, so related requests group textually.
+func TraceID(normSQL, catalogFingerprint string, submission uint64) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(normSQL); i++ {
+		h ^= uint64(normSQL[i])
+		h *= prime64
+	}
+	h ^= 0 // the cache key's NUL joint
+	h *= prime64
+	for i := 0; i < len(catalogFingerprint); i++ {
+		h ^= uint64(catalogFingerprint[i])
+		h *= prime64
+	}
+	buf := make([]byte, 0, 24)
+	buf = appendHexPad(buf, h, 16)
+	buf = append(buf, '-')
+	buf = appendDecPad(buf, submission, 6)
+	return string(buf)
+}
+
+// appendHexPad appends v in lowercase hex, zero-padded to width.
+func appendHexPad(b []byte, v uint64, width int) []byte {
+	s := strconv.FormatUint(v, 16)
+	for i := len(s); i < width; i++ {
+		b = append(b, '0')
+	}
+	return append(b, s...)
+}
+
+// appendDecPad appends v in decimal, zero-padded to width.
+func appendDecPad(b []byte, v uint64, width int) []byte {
+	s := strconv.FormatUint(v, 10)
+	for i := len(s); i < width; i++ {
+		b = append(b, '0')
+	}
+	return append(b, s...)
+}
+
+// maxSpanDecisions caps scheduler-decision spans recorded per attempt;
+// under heavy queueing PickJob fires per free slot per event and would
+// dominate tree size. The uncapped count still reaches the attempt span
+// as the sched_decisions attribute.
+const maxSpanDecisions = 8
+
+// SpanCollector accumulates one simulator attempt's spans from the
+// Observer callbacks. It is single-goroutine by construction (one
+// collector per pool simulator, which is single-threaded) and therefore
+// unlocked. Span times are attempt-local until QuerySpan.AddAttempt
+// re-bases them onto the request timeline; Parent -1 marks spans that
+// re-parent onto the attempt span at merge.
+type SpanCollector struct {
+	spans     []Span
+	jobs      map[string]int // job id → open job span index
+	decisions int            // uncapped PickJob count
+	maxT      float64        // latest event time seen (failed-run duration)
+}
+
+// NewSpanCollector returns an empty per-attempt collector.
+func NewSpanCollector() *SpanCollector {
+	return &SpanCollector{jobs: map[string]int{}}
+}
+
+// Decisions returns the uncapped scheduler-decision count.
+func (c *SpanCollector) Decisions() int { return c.decisions }
+
+// LastEventSec returns the latest virtual time any callback reported —
+// the attempt's effective duration when the simulated query failed and
+// has no response time.
+func (c *SpanCollector) LastEventSec() float64 { return c.maxT }
+
+// touch advances the attempt's last-event clock.
+func (c *SpanCollector) touch(now float64) {
+	if now > c.maxT {
+		c.maxT = now
+	}
+}
+
+// add appends a span and returns its index.
+func (c *SpanCollector) add(s Span) int {
+	s.ID = len(c.spans)
+	c.spans = append(c.spans, s)
+	return s.ID
+}
+
+// jobParent resolves a job id to its open span index (-1 when the job
+// was never opened, which re-parents the child onto the attempt).
+func (c *SpanCollector) jobParent(job string) int {
+	if i, ok := c.jobs[job]; ok {
+		return i
+	}
+	return -1
+}
+
+// jobSubmitted opens a job span (closed by jobFinished; left open —
+// clamped at merge — when the run fails mid-job).
+func (c *SpanCollector) jobSubmitted(now, ready float64, job, jobType string, maps, reds int) {
+	c.touch(now)
+	c.jobs[job] = c.add(Span{
+		Parent: -1, Kind: SpanKindJob, Name: job + " (" + jobType + ")",
+		Start: now, End: -1,
+		Attrs: []Attr{
+			AttrStr("type", jobType), AttrInt("maps", maps), AttrInt("reduces", reds),
+			AttrFloat("init_until_sec", ready),
+		},
+	})
+}
+
+// jobFinished closes the job's span.
+func (c *SpanCollector) jobFinished(now float64, job string) {
+	c.touch(now)
+	if i, ok := c.jobs[job]; ok {
+		c.spans[i].End = now
+	}
+}
+
+// taskFinished records a completed task attempt under its job.
+func (c *SpanCollector) taskFinished(now, start float64, job string, reduce bool,
+	index, node, slot int, predSec float64, speculated, faulted bool) {
+	c.touch(now)
+	c.add(Span{
+		Parent: c.jobParent(job), Kind: SpanKindTask, Name: taskName(job, reduce, index),
+		Start: start, End: now,
+		Attrs: []Attr{
+			AttrInt("node", node), AttrInt("slot", slot), AttrFloat("pred_sec", predSec),
+			AttrBool("speculated", speculated), AttrBool("faulted", faulted),
+		},
+	})
+}
+
+// taskFailed records a transient attempt failure under its job.
+func (c *SpanCollector) taskFailed(now, start float64, job string, reduce bool,
+	index, node, attempt int, backoffSec float64) {
+	c.touch(now)
+	c.add(Span{
+		Parent: c.jobParent(job), Kind: SpanKindFault, Name: "FAIL " + taskName(job, reduce, index),
+		Start: start, End: now,
+		Attrs: []Attr{
+			AttrInt("node", node), AttrInt("attempt", attempt),
+			AttrFloat("backoff_sec", backoffSec),
+		},
+	})
+}
+
+// speculativeLaunched records a duplicate attempt starting.
+func (c *SpanCollector) speculativeLaunched(now float64, job string, reduce bool,
+	index, origNode, slot int) {
+	c.touch(now)
+	c.add(Span{
+		Parent: c.jobParent(job), Kind: SpanKindTask, Name: "speculate " + taskName(job, reduce, index),
+		Start: now, End: now,
+		Attrs: []Attr{AttrInt("original_node", origNode), AttrInt("slot", slot)},
+	})
+}
+
+// speculativeCanceled records the losing attempt of a speculative race:
+// the span covers the slot time the loser burned before the winner won.
+func (c *SpanCollector) speculativeCanceled(now, start float64, job string, reduce bool,
+	index, slot int) {
+	c.touch(now)
+	c.add(Span{
+		Parent: c.jobParent(job), Kind: SpanKindTask, Name: "cancel " + taskName(job, reduce, index),
+		Start: start, End: now,
+		Attrs: []Attr{AttrInt("slot", slot)},
+	})
+}
+
+// shuffleReady records a job's map phase completing.
+func (c *SpanCollector) shuffleReady(now float64, job string, released int) {
+	c.touch(now)
+	c.add(Span{
+		Parent: c.jobParent(job), Kind: SpanKindJob, Name: "maps done",
+		Start: now, End: now,
+		Attrs: []Attr{AttrInt("released_reduces", released)},
+	})
+}
+
+// reducePreempted records a hoarding reduce evicted for runnable work.
+func (c *SpanCollector) reducePreempted(now float64, job string, index, slot int, waitedSec float64) {
+	c.touch(now)
+	c.add(Span{
+		Parent: c.jobParent(job), Kind: SpanKindSched, Name: "preempt " + taskName(job, true, index),
+		Start: now, End: now,
+		Attrs: []Attr{AttrInt("slot", slot), AttrFloat("hoarded_sec", waitedSec)},
+	})
+}
+
+// nodeEvent records a node-scoped fault (crash/recover/blacklist) at the
+// attempt level.
+func (c *SpanCollector) nodeEvent(now float64, name string, attrs ...Attr) {
+	c.touch(now)
+	c.add(Span{Parent: -1, Kind: SpanKindFault, Name: name, Start: now, End: now, Attrs: attrs})
+}
+
+// queryFailed records the simulated query aborting (attempt cap hit).
+func (c *SpanCollector) queryFailed(now float64, reason string) {
+	c.touch(now)
+	c.add(Span{
+		Parent: -1, Kind: SpanKindFault, Name: "query failed",
+		Start: now, End: now,
+		Attrs: []Attr{AttrStr("reason", reason)},
+	})
+}
+
+// decision records one PickJob call, capped at maxSpanDecisions.
+func (c *SpanCollector) decision(now float64, scheduler string, reduce bool,
+	picked string, queueDepth int) {
+	c.touch(now)
+	c.decisions++
+	if c.decisions > maxSpanDecisions {
+		return
+	}
+	phase := "map"
+	if reduce {
+		phase = "reduce"
+	}
+	name := scheduler + ": idle"
+	if picked != "" {
+		name = scheduler + ": " + picked
+	}
+	c.add(Span{
+		Parent: -1, Kind: SpanKindSched, Name: name,
+		Start: now, End: now,
+		Attrs: []Attr{
+			AttrStr("phase", phase), AttrStr("picked", picked),
+			AttrInt("queue_depth", queueDepth),
+		},
+	})
+}
+
+// QuerySpan builds one submission's tree: a root span, zero-width
+// pipeline events (cache, admission, feedback), and one attempt span
+// per simulator run with the collector's spans re-based under it.
+// It is confined to the goroutine serving the submission.
+type QuerySpan struct {
+	tree     SpanTree
+	offset   float64 // request-timeline position: sum of prior attempt durations
+	attempts int
+}
+
+// BeginQuerySpan opens a request tree rooted at a SpanKindQuery span.
+func BeginQuerySpan(traceID, name string, attrs ...Attr) *QuerySpan {
+	q := &QuerySpan{tree: SpanTree{TraceID: traceID}}
+	q.tree.Spans = append(q.tree.Spans, Span{
+		ID: 0, Parent: -1, Kind: SpanKindQuery, Name: name, Attrs: attrs,
+	})
+	return q
+}
+
+// TraceID returns the request's trace id.
+func (q *QuerySpan) TraceID() string { return q.tree.TraceID }
+
+// Event appends a zero-width child of the root at the current timeline
+// position (pipeline stages like cache lookup and admission).
+func (q *QuerySpan) Event(kind, name string, attrs ...Attr) {
+	q.tree.Spans = append(q.tree.Spans, Span{
+		ID: len(q.tree.Spans), Parent: 0, Kind: kind, Name: name,
+		Start: q.offset, End: q.offset, Attrs: attrs,
+	})
+}
+
+// AddAttempt merges one collector under a new attempt span spanning
+// durSec on the request timeline: collector span ids shift past the
+// attempt's, roots re-parent onto it, times shift by the timeline
+// offset, and still-open job spans clamp to the attempt end (the run
+// failed mid-job). The collector must not be reused afterwards.
+func (q *QuerySpan) AddAttempt(c *SpanCollector, durSec float64, attrs ...Attr) {
+	q.attempts++
+	attemptID := len(q.tree.Spans)
+	attrs = append(attrs, AttrInt("sched_decisions", c.decisions))
+	q.tree.Spans = append(q.tree.Spans, Span{
+		ID: attemptID, Parent: 0, Kind: SpanKindAttempt,
+		Name:  "attempt " + itoa(q.attempts),
+		Start: q.offset, End: q.offset + durSec, Attrs: attrs,
+	})
+	base := attemptID + 1
+	for _, s := range c.spans {
+		if s.End < s.Start {
+			s.End = durSec // job left open by a failed run
+		}
+		s.ID += base
+		if s.Parent < 0 {
+			s.Parent = attemptID
+		} else {
+			s.Parent += base
+		}
+		s.Start += q.offset
+		s.End += q.offset
+		q.tree.Spans = append(q.tree.Spans, s)
+	}
+	q.offset += durSec
+}
+
+// Finish closes the root at the current timeline position, appends the
+// outcome attributes, and returns the completed tree.
+func (q *QuerySpan) Finish(attrs ...Attr) SpanTree {
+	q.tree.Spans[0].End = q.offset
+	q.tree.Spans[0].Attrs = append(q.tree.Spans[0].Attrs, attrs...)
+	return q.tree
+}
+
+// DefaultSpanCapacity bounds SpanStore retention when the configured
+// capacity is zero or negative.
+const DefaultSpanCapacity = 512
+
+// SpanCounts is a SpanStore's lifecycle counters.
+type SpanCounts struct {
+	Started  uint64 `json:"started"`
+	Finished uint64 `json:"finished"`
+	Evicted  uint64 `json:"evicted"`
+	Retained int    `json:"retained"`
+}
+
+// SpanStore retains finished span trees in a bounded ring (oldest
+// evicted first) behind a mutex; the serving engine's pool workers add
+// concurrently and the admin endpoint snapshots concurrently.
+type SpanStore struct {
+	mu       sync.Mutex
+	capacity int
+	trees    []SpanTree // ring buffer, len == capacity once full
+	head     int        // index of the oldest tree
+	n        int        // live tree count
+	started  uint64
+	finished uint64
+	evicted  uint64
+}
+
+// NewSpanStore returns a store retaining at most capacity trees
+// (DefaultSpanCapacity when capacity <= 0).
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanStore{capacity: capacity}
+}
+
+// Begin counts a request tree opened (admitted submission).
+func (s *SpanStore) Begin() {
+	s.mu.Lock()
+	s.started++
+	s.mu.Unlock()
+}
+
+// Add retains a finished tree, evicting the oldest at capacity.
+func (s *SpanStore) Add(t SpanTree) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished++
+	if s.trees == nil {
+		s.trees = make([]SpanTree, s.capacity)
+	}
+	if s.n == s.capacity {
+		s.trees[s.head] = t
+		s.head = (s.head + 1) % s.capacity
+		s.evicted++
+		return
+	}
+	s.trees[(s.head+s.n)%s.capacity] = t
+	s.n++
+}
+
+// Counts snapshots the lifecycle counters.
+func (s *SpanStore) Counts() SpanCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpanCounts{Started: s.started, Finished: s.finished, Evicted: s.evicted, Retained: s.n}
+}
+
+// Trees returns the retained trees, oldest first.
+func (s *SpanStore) Trees() []SpanTree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.treesLocked()
+}
+
+// treesLocked copies the ring in insertion order.
+func (s *SpanStore) treesLocked() []SpanTree {
+	out := make([]SpanTree, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.trees[(s.head+i)%s.capacity])
+	}
+	return out
+}
+
+// Tree returns the newest retained tree with the given trace id.
+func (s *SpanStore) Tree(traceID string) (SpanTree, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := s.n - 1; i >= 0; i-- {
+		t := s.trees[(s.head+i)%s.capacity]
+		if t.TraceID == traceID {
+			return t, true
+		}
+	}
+	return SpanTree{}, false
+}
+
+// SpanStoreSnapshot is the JSON form of a store: counters plus every
+// retained tree, oldest first.
+type SpanStoreSnapshot struct {
+	Started  uint64     `json:"started"`
+	Finished uint64     `json:"finished"`
+	Evicted  uint64     `json:"evicted"`
+	Trees    []SpanTree `json:"trees"`
+}
+
+// Snapshot copies the store state.
+func (s *SpanStore) Snapshot() SpanStoreSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpanStoreSnapshot{
+		Started: s.started, Finished: s.finished, Evicted: s.evicted,
+		Trees: s.treesLocked(),
+	}
+}
+
+// WriteJSON serialises the snapshot as deterministic indented JSON.
+func (s *SpanStore) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// pidSpanBase is the first trace process id used by WriteChromeTrace —
+// far above the simulator's per-query pids so a span export can share a
+// sink with a timeline trace without colliding.
+const pidSpanBase = 10000
+
+// WriteChromeTrace exports every retained tree as Chrome trace-event
+// async spans ("b"/"e" pairs keyed by span id), one trace process per
+// tree, so overlapping sibling spans render side by side in Perfetto.
+// The caller owns the sink lifecycle (Close).
+func (s *SpanStore) WriteChromeTrace(ts *TraceSink) {
+	for i, tree := range s.Trees() {
+		pid := pidSpanBase + i
+		ts.MetaProcessName(pid, "trace "+tree.TraceID)
+		for _, sp := range tree.Spans {
+			id := tree.TraceID + ":" + itoa(sp.ID)
+			args := make([]Arg, 0, len(sp.Attrs)+2)
+			args = append(args, Arg{"span_id", sp.ID}, Arg{"parent", sp.Parent})
+			for _, a := range sp.Attrs {
+				args = append(args, Arg{a.Key, a.Val})
+			}
+			ts.AsyncBegin(pid, id, sp.Start, sp.Name, sp.Kind, args...)
+			ts.AsyncEnd(pid, id, sp.End, sp.Name, sp.Kind)
+		}
+	}
+}

@@ -184,6 +184,38 @@ func (t *TraceSink) Complete(pid, tid int, startSec, endSec float64, name, categ
 	t.emit(b.String())
 }
 
+// AsyncBegin emits a "b" (async span begin) event under the given id.
+// Async spans may overlap freely within a process — Perfetto pairs each
+// "b" with the "e" sharing its (category, id, name) — which is how
+// request-scoped span trees with concurrent siblings render.
+func (t *TraceSink) AsyncBegin(pid int, id string, startSec float64, name, category string, args ...Arg) {
+	var b strings.Builder
+	header(&b, name, "b", micros(startSec), pid, 0)
+	b.WriteString(`,"cat":`)
+	b.WriteString(strconv.Quote(category))
+	b.WriteString(`,"id":`)
+	b.WriteString(strconv.Quote(id))
+	if len(args) > 0 {
+		b.WriteString(`,"args":`)
+		appendArgs(&b, args)
+	}
+	b.WriteByte('}')
+	t.emit(b.String())
+}
+
+// AsyncEnd emits the "e" event closing an AsyncBegin with the same
+// (category, id, name).
+func (t *TraceSink) AsyncEnd(pid int, id string, endSec float64, name, category string) {
+	var b strings.Builder
+	header(&b, name, "e", micros(endSec), pid, 0)
+	b.WriteString(`,"cat":`)
+	b.WriteString(strconv.Quote(category))
+	b.WriteString(`,"id":`)
+	b.WriteString(strconv.Quote(id))
+	b.WriteByte('}')
+	t.emit(b.String())
+}
+
 // Instant emits a thread-scoped "i" event.
 func (t *TraceSink) Instant(pid, tid int, nowSec float64, name, category string, args ...Arg) {
 	var b strings.Builder

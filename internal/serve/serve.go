@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"saqp/internal/cluster"
@@ -14,6 +15,7 @@ import (
 	"saqp/internal/plan"
 	"saqp/internal/predict"
 	"saqp/internal/query"
+	"saqp/internal/sched"
 	"saqp/internal/selectivity"
 	"saqp/internal/trace"
 )
@@ -77,6 +79,18 @@ type Config struct {
 	// Observer receives serve metrics and prediction drift; nil
 	// disables instrumentation at zero cost.
 	Observer *obs.Observer
+	// Spans, when set, records one request-scoped span tree per admitted
+	// submission: cache lookup, SWRD admission, every simulator attempt
+	// (jobs, tasks, faults, speculative losers, scheduler decisions) and
+	// the learn feedback, all on one deterministic virtual timeline. Nil
+	// disables tracing at zero cost — pool simulators then run with no
+	// observer attached, exactly as before.
+	Spans *obs.SpanStore
+	// SLO, when set, classifies every delivered completion against a
+	// latency objective and evaluates multi-window burn rates in virtual
+	// time (see obs.SLOTracker). Cancellations are not classified — the
+	// client walked away, the engine didn't miss.
+	SLO *obs.SLOTracker
 }
 
 // Result is one served query's outcome.
@@ -122,6 +136,7 @@ type Ticket struct {
 	predSec  float64
 	version  int
 	cacheHit bool
+	span     *obs.QuerySpan // nil unless Config.Spans is set
 
 	done chan struct{}
 	res  Result
@@ -173,6 +188,20 @@ type Stats struct {
 	QueueDepth int // tickets awaiting a pool worker
 	Inflight   int // tickets on pool simulators right now
 	Workers    int
+
+	// SpansStarted/SpansFinished count request-scoped span trees opened
+	// at admission and retained at delivery (Config.Spans; finished lags
+	// started by in-flight plus abandoned/canceled trees).
+	SpansStarted  uint64
+	SpansFinished uint64
+
+	// SLO burn-rate state at snapshot time (Config.SLO): the fast/slow
+	// window burn rates, whether the alert is firing, and how many
+	// fire/resolve transitions the deterministic alert log has recorded.
+	SLOFastBurn float64
+	SLOSlowBurn float64
+	SLOFiring   bool
+	SLOAlerts   int
 }
 
 // HitRate returns the cache hit fraction, 0 when no lookups happened.
@@ -331,6 +360,21 @@ func (e *Engine) Submit(ctx context.Context, sql string, seed uint64) (*Ticket, 
 		cacheHit: !owner,
 		done:     make(chan struct{}),
 	}
+	// The root span opens before the ticket is visible to the pool (a
+	// worker may read t.span the moment it is pushed).
+	if st := e.cfg.Spans; st != nil {
+		st.Begin()
+		t.span = obs.BeginQuerySpan(
+			obs.TraceID(norm, e.cfg.CatalogFingerprint, t.seq), t.id,
+			obs.AttrStr("seed", strconv.FormatUint(seed, 10)),
+			obs.AttrInt("model_version", version),
+		)
+		t.span.Event(obs.SpanKindCache, "plan-cache",
+			obs.AttrBool("hit", t.cacheHit))
+		t.span.Event(obs.SpanKindAdmission, "swrd-admission",
+			obs.AttrFloat("wrd", wrd), obs.AttrFloat("pred_sec", predSec),
+			obs.AttrInt("queue_depth", len(e.queue)+1))
+	}
 	heap.Push(&e.queue, t)
 	e.st.Submitted++
 	depth := len(e.queue)
@@ -446,11 +490,36 @@ func (e *Engine) run(t *Ticket) {
 			// while keeping each (sql, seed, attempt) run reproducible.
 			scfg.FaultSalt ^= t.seed ^ uint64(attempt)*0x9e3779b97f4a7c15
 		}
-		sim := cluster.New(scfg, e.cfg.Scheduler)
+		// With tracing on, each attempt runs under a spans-only observer:
+		// its single-goroutine collector captures the attempt's jobs,
+		// tasks, faults and scheduler decisions without touching the
+		// shared metrics registry — the simulated schedule is identical
+		// either way, only observation is added.
+		pol := e.cfg.Scheduler
+		var coll *obs.SpanCollector
+		var runObs *obs.Observer
+		if t.span != nil {
+			coll = obs.NewSpanCollector()
+			runObs = &obs.Observer{Spans: coll}
+			pol = sched.Instrument(pol, runObs)
+		}
+		sim := cluster.New(scfg, pol)
+		if runObs != nil {
+			sim.SetObserver(runObs)
+		}
 		sim.Submit(cq, 0)
 		if _, err := sim.RunContext(ctx); err != nil {
 			e.finish(t, Result{}, err)
 			return
+		}
+		if t.span != nil {
+			dur := cq.ResponseTime()
+			if dur < 0 {
+				dur = coll.LastEventSec()
+			}
+			t.span.AddAttempt(coll, dur,
+				obs.AttrBool("failed", cq.Failed()),
+				obs.AttrBool("faulted", cq.Faulted))
 		}
 		if cq.Failed() {
 			if attempt < maxRetries {
@@ -476,6 +545,11 @@ func (e *Engine) run(t *Ticket) {
 		}
 		if L := e.cfg.Learner; L != nil && !cq.Faulted {
 			feedback(L, t.est, cq)
+			if t.span != nil {
+				t.span.Event(obs.SpanKindFeedback, "learn-feedback",
+					obs.AttrInt("jobs", len(cq.Jobs)),
+					obs.AttrInt("registry_version", L.Version()))
+			}
 		}
 		res := Result{
 			ID: t.id, SQL: t.sql, CacheHit: t.cacheHit,
@@ -559,16 +633,37 @@ func feedback(l *learn.Registry, est *selectivity.QueryEstimate, cq *cluster.Que
 }
 
 // finish delivers a ticket's completion exactly once and updates
-// counters per outcome.
+// counters per outcome. Completed and errored queries seal their span
+// tree into the store and feed the SLO tracker; cancellations abandon
+// the tree (it is incomplete by definition) and are not classified
+// against the objective — the client walked away, the engine didn't
+// miss.
 func (e *Engine) finish(t *Ticket, res Result, err error) {
 	t.res, t.err = res, err
+	canceled := err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	traceID := ""
+	if t.span != nil && !canceled {
+		traceID = t.span.TraceID()
+		if err == nil {
+			e.cfg.Spans.Add(t.span.Finish(
+				obs.AttrFloat("sim_sec", res.SimSec),
+				obs.AttrInt("attempts", res.Attempts),
+				obs.AttrBool("faulted", res.Faulted)))
+		} else {
+			e.cfg.Spans.Add(t.span.Finish(obs.AttrStr("error", err.Error())))
+		}
+	}
+	if slo := e.cfg.SLO; slo != nil && !canceled {
+		e.cfg.Observer.SLORecorded(slo.Record(res.SimSec, err != nil))
+	}
 	e.mu.Lock()
 	e.inflight--
 	inflight := e.inflight
 	switch {
 	case err == nil:
 		e.st.Completed++
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case canceled:
 		e.st.Canceled++
 	default:
 		e.st.Errors++
@@ -576,8 +671,8 @@ func (e *Engine) finish(t *Ticket, res Result, err error) {
 	e.mu.Unlock()
 	switch {
 	case err == nil:
-		e.cfg.Observer.ServeCompleted(res.SimSec, inflight)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.cfg.Observer.ServeCompleted(res.SimSec, inflight, traceID)
+	case canceled:
 		e.cfg.Observer.ServeCanceled(inflight)
 	default:
 		e.cfg.Observer.ServeError()
@@ -596,6 +691,15 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 	s.CacheHits, s.CacheMisses, s.CacheEvictions = hits, misses, evictions
 	s.CacheEntries = e.cache.len()
+	if st := e.cfg.Spans; st != nil {
+		c := st.Counts()
+		s.SpansStarted, s.SpansFinished = c.Started, c.Finished
+	}
+	if slo := e.cfg.SLO; slo != nil {
+		st := slo.Status()
+		s.SLOFastBurn, s.SLOSlowBurn = st.FastBurn, st.SlowBurn
+		s.SLOFiring, s.SLOAlerts = st.Firing, st.Alerts
+	}
 	return s
 }
 

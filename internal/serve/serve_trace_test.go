@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"saqp/internal/learn"
+	"saqp/internal/obs"
+)
+
+// traceReplay is one fully instrumented serialized replay: a
+// single-worker engine with tracing, SLO tracking, online learning and
+// metrics on, fed a fixed seeded TPC-H query mix one submission at a
+// time (submit, then wait) so completion order is deterministic.
+type traceReplay struct {
+	spans   *obs.SpanStore
+	slo     *obs.SLOTracker
+	obs     *obs.Observer
+	stats   Stats
+	simSecs []float64
+}
+
+func runTraceReplay(t *testing.T, traced bool) traceReplay {
+	t.Helper()
+	jm, tm := models(t)
+	cfg := config(t)
+	cfg.Workers = 1
+	cfg.JobModel, cfg.TaskModel = jm, tm
+	cfg.Learner = learn.NewRegistry(learn.Config{Champion: jm, ChampionTasks: tm})
+	r := traceReplay{}
+	if traced {
+		r.obs = obs.New(nil)
+		r.spans = obs.NewSpanStore(0)
+		r.slo = obs.NewSLOTracker(obs.SLOConfig{Name: "SWRD", LatencyObjectiveSec: 60})
+		cfg.Observer = r.obs
+		cfg.Spans = r.spans
+		cfg.SLO = r.slo
+	}
+	e := newEngine(t, cfg)
+	for i, sql := range []string{q1, q6, q1, q6, q1, q6} {
+		tk, err := e.Submit(context.Background(), sql, uint64(7+i%2))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		res, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		r.simSecs = append(r.simSecs, res.SimSec)
+	}
+	r.stats = e.Stats()
+	return r
+}
+
+// TestServeSpanReplayDeterministic is the acceptance gate: two seeded
+// serialized replays must serialise byte-identical span stores, SLO
+// snapshots and metrics registries.
+func TestServeSpanReplayDeterministic(t *testing.T) {
+	a := runTraceReplay(t, true)
+	b := runTraceReplay(t, true)
+
+	var aj, bj bytes.Buffer
+	if err := a.spans.WriteJSON(&aj); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.spans.WriteJSON(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj.Bytes(), bj.Bytes()) {
+		t.Error("span-store JSON differs between identical seeded replays")
+	}
+
+	as, err := a.slo.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := b.slo.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(as, bs) {
+		t.Error("SLO snapshot differs between identical seeded replays")
+	}
+
+	am, err := a.obs.Metrics.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := b.obs.Metrics.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(am, bm) {
+		t.Error("metrics snapshot (including exemplars) differs between identical seeded replays")
+	}
+}
+
+// TestServeSpansDoNotPerturbSchedule re-runs the same replay with
+// observability off entirely: the simulated response times must be
+// identical, since spans are recorded purely through observation.
+func TestServeSpansDoNotPerturbSchedule(t *testing.T) {
+	traced := runTraceReplay(t, true)
+	plain := runTraceReplay(t, false)
+	if len(traced.simSecs) != len(plain.simSecs) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(traced.simSecs), len(plain.simSecs))
+	}
+	for i := range traced.simSecs {
+		if traced.simSecs[i] != plain.simSecs[i] {
+			t.Errorf("query %d: traced sim %g != untraced sim %g", i, traced.simSecs[i], plain.simSecs[i])
+		}
+	}
+}
+
+// TestServeExemplarResolvesToSpanTree follows the full observability
+// chain: a latency-histogram bucket's exemplar trace id must resolve in
+// the span store to a complete submit→admit→schedule→attempt→feedback
+// tree.
+func TestServeExemplarResolvesToSpanTree(t *testing.T) {
+	r := runTraceReplay(t, true)
+
+	if r.stats.SpansStarted != 6 || r.stats.SpansFinished != 6 {
+		t.Errorf("stats spans = %d/%d, want 6/6", r.stats.SpansStarted, r.stats.SpansFinished)
+	}
+	if got := r.slo.Status(); got.Good+got.Bad != 6 {
+		t.Errorf("SLO classified %d+%d queries, want 6", got.Good, got.Bad)
+	}
+
+	hist := r.obs.Metrics.Snapshot().Histograms[obs.MServeSimResponseSec]
+	if hist.Count != 6 {
+		t.Fatalf("sim-response histogram count = %d, want 6", hist.Count)
+	}
+	if hist.Exemplars == nil {
+		t.Fatal("sim-response histogram carries no exemplars")
+	}
+	var traceID string
+	for _, ex := range hist.Exemplars {
+		if ex.TraceID != "" {
+			traceID = ex.TraceID
+			break
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no bucket recorded an exemplar trace id")
+	}
+
+	tree, ok := r.spans.Tree(traceID)
+	if !ok {
+		t.Fatalf("exemplar trace %q not resolvable in the span store", traceID)
+	}
+	kinds := map[string]bool{}
+	for _, sp := range tree.Spans {
+		kinds[sp.Kind] = true
+	}
+	for _, kind := range []string{obs.SpanKindQuery, obs.SpanKindCache,
+		obs.SpanKindAdmission, obs.SpanKindAttempt, obs.SpanKindJob,
+		obs.SpanKindTask, obs.SpanKindSched, obs.SpanKindFeedback} {
+		if !kinds[kind] {
+			t.Errorf("exemplar tree %q lacks a %q span", traceID, kind)
+		}
+	}
+	if tree.Spans[0].Kind != obs.SpanKindQuery || tree.Spans[0].End <= 0 {
+		t.Errorf("exemplar tree root malformed: %+v", tree.Spans[0])
+	}
+}

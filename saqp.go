@@ -64,6 +64,21 @@ type (
 	DriftSnapshot = obs.DriftSnapshot
 	// DriftSummary is one category's accuracy roll-up.
 	DriftSummary = obs.DriftSummary
+	// Span is one node of a request-scoped trace tree.
+	Span = obs.Span
+	// SpanTree is one served submission's complete span record.
+	SpanTree = obs.SpanTree
+	// SpanStore retains finished span trees in a bounded ring.
+	SpanStore = obs.SpanStore
+	// SLOConfig parameterises a latency objective with multi-window
+	// burn-rate alerting (zero fields take the obs defaults).
+	SLOConfig = obs.SLOConfig
+	// SLOTracker evaluates a latency objective over virtual time.
+	SLOTracker = obs.SLOTracker
+	// SLOSnapshot is a tracker's JSON state, including the alert log.
+	SLOSnapshot = obs.SLOSnapshot
+	// SLOAlert is one deterministic fire/resolve alert-log entry.
+	SLOAlert = obs.SLOAlert
 )
 
 // NewObserver builds an observer with a fresh metrics registry and drift

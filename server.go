@@ -2,8 +2,11 @@ package saqp
 
 import (
 	"context"
+	"encoding/json"
 	"time"
 
+	"saqp/internal/obs"
+	"saqp/internal/obs/adminhttp"
 	"saqp/internal/serve"
 )
 
@@ -58,6 +61,25 @@ type ServerOptions struct {
 	// nil builds one via Framework.NewLearner with defaults. Sharing one
 	// Learner across servers pools their feedback.
 	Learner *Learner
+	// TraceSpans records a request-scoped span tree per admitted query:
+	// cache lookup → SWRD admission → every simulator attempt (jobs,
+	// tasks, faults, speculative losers, scheduler decisions) → learn
+	// feedback, retained in a bounded store readable via Spans and the
+	// admin server's /spans endpoint.
+	TraceSpans bool
+	// SpanCapacity bounds retained span trees (oldest evicted first).
+	// 0 means obs.DefaultSpanCapacity.
+	SpanCapacity int
+	// SLO, when non-nil, tracks a latency objective with multi-window
+	// burn-rate alerting over virtual time; zero fields take the obs
+	// defaults and Name defaults to the scheduler name.
+	SLO *SLOConfig
+	// AdminAddr, when non-empty, starts the live introspection HTTP
+	// server on that address (host:port; ":0" picks a free port) serving
+	// /metrics, /spans, /slo, /drift, /statz and /debug/pprof. Setting it
+	// implies TraceSpans and a default SLO (if none was given) so the
+	// endpoints have substance. The server stops on Close.
+	AdminAddr string
 }
 
 // Server is the framework's concurrent query-serving engine: submissions
@@ -70,6 +92,9 @@ type Server struct {
 	eng     *serve.Engine
 	opts    ServerOptions
 	learner *Learner
+	spans   *SpanStore
+	slo     *SLOTracker
+	admin   *adminhttp.Server
 }
 
 // NewServer starts a serving engine over the framework's estimator and
@@ -91,6 +116,29 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 	if lr == nil && opts.OnlineLearning {
 		lr = f.NewLearner(LearnerConfig{})
 	}
+	// The admin server implies tracing and a default SLO so its /spans
+	// and /slo endpoints have substance, and needs a metrics registry
+	// even when the framework runs unobserved.
+	ob := f.Obs
+	var spans *SpanStore
+	if opts.TraceSpans || opts.AdminAddr != "" {
+		spans = obs.NewSpanStore(opts.SpanCapacity)
+	}
+	sloCfg := opts.SLO
+	if sloCfg == nil && opts.AdminAddr != "" {
+		sloCfg = &SLOConfig{}
+	}
+	var slo *SLOTracker
+	if sloCfg != nil {
+		cfg := *sloCfg
+		if cfg.Name == "" {
+			cfg.Name = name
+		}
+		slo = obs.NewSLOTracker(cfg)
+	}
+	if ob == nil && opts.AdminAddr != "" {
+		ob = obs.New(nil)
+	}
 	eng, err := serve.New(serve.Config{
 		Schemas:            f.Schemas,
 		Estimator:          f.Estimator,
@@ -104,12 +152,31 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 		MaxRetries:         opts.MaxRetries,
 		CacheSize:          opts.CacheSize,
 		QueueCap:           opts.QueueCap,
-		Observer:           f.Obs,
+		Observer:           ob,
+		Spans:              spans,
+		SLO:                slo,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{eng: eng, opts: opts, learner: lr}, nil
+	s := &Server{eng: eng, opts: opts, learner: lr, spans: spans, slo: slo}
+	if opts.AdminAddr != "" {
+		cfg := adminhttp.Config{
+			Spans:     spans,
+			SLO:       slo,
+			StatsJSON: func() ([]byte, error) { return json.MarshalIndent(eng.Stats(), "", "  ") },
+		}
+		if ob != nil {
+			cfg.Metrics, cfg.Drift = ob.Metrics, ob.Drift
+		}
+		adm, err := adminhttp.Start(opts.AdminAddr, cfg)
+		if err != nil {
+			_ = eng.Close() //lint:allow saqpvet/errdrop Close never fails; the listen error is the one to surface
+			return nil, err
+		}
+		s.admin = adm
+	}
+	return s, nil
 }
 
 // Learner returns the online model-lifecycle registry this server
@@ -141,6 +208,39 @@ func (s *Server) Submit(ctx context.Context, sql string, seed uint64) (*Ticket, 
 // Stats snapshots the engine's counters.
 func (s *Server) Stats() ServeStats { return s.eng.Stats() }
 
+// Spans returns the request-scoped span store, or nil when tracing is
+// off (no TraceSpans option and no admin server).
+func (s *Server) Spans() *SpanStore { return s.spans }
+
+// SLO returns the latency-objective tracker, or nil when none is
+// configured.
+func (s *Server) SLO() *SLOTracker { return s.slo }
+
+// AdminURL returns the admin server's base URL, or "" when no admin
+// server is running.
+func (s *Server) AdminURL() string {
+	if s.admin == nil {
+		return ""
+	}
+	return s.admin.URL()
+}
+
+// adminShutdownTimeout bounds how long Close waits for in-flight admin
+// requests before tearing the connections down.
+const adminShutdownTimeout = 5 * time.Second
+
 // Close stops admissions and drains gracefully: queued and in-flight
-// queries complete, then the worker pool exits. Blocks until drained.
-func (s *Server) Close() error { return s.eng.Close() }
+// queries complete, the worker pool exits, and the admin server (if
+// any) shuts down after its in-flight requests finish.
+func (s *Server) Close() error {
+	err := s.eng.Close()
+	if s.admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), adminShutdownTimeout) //lint:allow saqpvet/ctxleak Close is the facade boundary; the shutdown deadline has no caller context to inherit
+		defer cancel()
+		if aerr := s.admin.Shutdown(ctx); err == nil {
+			err = aerr
+		}
+		s.admin = nil
+	}
+	return err
+}
