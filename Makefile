@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint lint-self bench-alloc fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn ci clean
+.PHONY: all build test race lint lint-self bench-alloc fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn bench-net ci clean
 
 all: build
 
@@ -33,7 +33,8 @@ lint-self:
 bench-alloc:
 	$(GO) test -count=1 -run TestHotPathAllocs \
 		./internal/mapreduce ./internal/selectivity ./internal/histogram \
-		./internal/dataset ./internal/predict ./internal/serve ./internal/obs
+		./internal/dataset ./internal/predict ./internal/serve ./internal/obs \
+		./internal/net/proto
 
 test:
 	$(GO) test ./...
@@ -42,16 +43,21 @@ race:
 	$(GO) test -race ./...
 
 # A short native-fuzzing burst over the full compile→estimate→execute
-# stack, plus the randomized estimator-vs-engine agreement test.
+# stack, the randomized estimator-vs-engine agreement test, and the
+# wire-protocol decoder (no panics, no over-reads, byte-exact
+# re-encoding of every accepted frame).
 fuzz-smoke:
 	$(GO) test -run TestRandomQueriesEstimatorVsEngine -count=1 ./internal/mapreduce
 	$(GO) test -fuzz FuzzEngineQuery -fuzztime 10s -run '^$$' ./internal/mapreduce
+	$(GO) test -fuzz FuzzProtocolDecode -fuzztime 10s -run '^$$' ./internal/net/proto
 
-# Concurrency stress: the serving-layer stress/property suite under the
-# race detector, run twice to vary goroutine interleavings.
+# Concurrency stress: the serving-layer and network-frontend stress/
+# property suites under the race detector, run twice to vary goroutine
+# interleavings (includes the 64-connection TCP stress test at the
+# root and the connection-lifecycle suite in internal/net).
 stress:
 	$(GO) test -race -count=2 -run 'TestServer|TestProperty|TestSingleFlight|TestDeterministicSnapshots' \
-		. ./internal/serve ./internal/selectivity
+		. ./internal/serve ./internal/selectivity ./internal/net
 
 # Coverage gate for the serving engine: fail if internal/serve drops
 # below 85% statement coverage.
@@ -99,6 +105,21 @@ bench-learn:
 	$(GO) run ./cmd/benchrunner -learn -learn-queries $(LEARN_QUERIES) \
 		-learn-gate 1.10 -bench-out bench-out -csv bench-out
 
+# Network-frontend benchmark: NET_QUERIES TPC-H submissions over real
+# loopback sockets through the RESP-style TCP frontend — NET_CONNS
+# client connections each SUBMITting and WAITing over the wire, so
+# latency includes encode, socket and parse time. Fails on any lost
+# completion, -BUSY refusal or client error at this default load, and
+# gates p99 at 1.5x the committed baseline in testdata/bench_baseline/.
+# Writes bench-out/BENCH_net.json.
+NET_QUERIES ?= 400
+NET_CONNS   ?= 8
+bench-net:
+	@mkdir -p bench-out
+	$(GO) run ./cmd/benchrunner -net -net-queries $(NET_QUERIES) \
+		-net-conns $(NET_CONNS) -bench-out bench-out \
+		-net-baseline testdata/bench_baseline/BENCH_net.json -net-p99-gate 1.5
+
 # Regenerate the paper's tables and figures with full observability:
 # machine-readable BENCH_<exp>.json per experiment, a Perfetto-loadable
 # trace of the simulated runs (gzipped; Perfetto opens .json.gz
@@ -112,7 +133,7 @@ bench:
 	gzip -f -9 bench-out/runs.trace.json
 
 # Everything CI runs, in the same order.
-ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-fault bench-learn
+ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-fault bench-learn bench-net
 
 clean:
 	rm -rf $(BIN) bench-out obs-out lint-out

@@ -62,6 +62,12 @@ func main() {
 		serveLinger   = flag.Duration("admin-linger", 0, "serve: keep the server and admin endpoint alive this long after the benchmark finishes (SIGINT/SIGTERM ends it early)")
 		serveSpans    = flag.String("spans", "", "serve: record request span trees and write them as JSON to this file")
 		serveBaseline = flag.String("baseline", "", "serve: print a delta of this run against a committed BENCH_serve.json baseline")
+
+		netMode     = flag.Bool("net", false, "run the network-frontend benchmark (real TCP sockets, RESP-style protocol) instead of the paper experiments")
+		netConns    = flag.Int("net-conns", 8, "net: client connections")
+		netQueries  = flag.Int("net-queries", 400, "net: total submissions across all connections")
+		netBaseline = flag.String("net-baseline", "", "net: gate this run against a committed BENCH_net.json baseline")
+		netP99Gate  = flag.Float64("net-p99-gate", 1.5, "net: fail when p99 exceeds the baseline's p99 times this factor (0 disables; needs -net-baseline)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -72,7 +78,8 @@ func main() {
 				"examples:\n"+
 				"  benchrunner -exp all\n"+
 				"  benchrunner -exp table3 -queries 1000\n"+
-				"  benchrunner -serve -concurrency 32 -qps 50\n\n")
+				"  benchrunner -serve -concurrency 32 -qps 50\n"+
+				"  benchrunner -net -net-conns 16 -net-queries 800\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -111,6 +118,24 @@ func main() {
 			Seed:       *seed,
 		}
 		if err := learnBench(lc, *benchDir, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *netMode {
+		nc := netConfig{
+			Queries:   *netQueries,
+			Conns:     *netConns,
+			QPS:       *qps,
+			Workers:   *serveWorkers,
+			CacheSize: *serveCache,
+			Scheduler: *serveSched,
+			Seed:      *seed,
+			Baseline:  *netBaseline,
+			P99Gate:   *netP99Gate,
+		}
+		if err := netBench(nc, *benchDir); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

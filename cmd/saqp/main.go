@@ -24,6 +24,14 @@
 //	saqp -query "..." -admin :8080
 //	curl localhost:8080/metrics
 //	curl localhost:8080/spans
+//
+// With -listen the process hosts the TCP query frontend instead: a
+// RESP-style protocol speaking SUBMIT / WAIT / STATS / EXPLAIN /
+// METRICS / PING / QUIT (grammar in DESIGN.md), serving until
+// SIGINT/SIGTERM with a graceful drain. -query becomes optional:
+//
+//	saqp -train -listen :6380
+//	printf 'SUBMIT SELECT COUNT(*) FROM lineitem\r\n' | nc localhost 6380
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"os/signal"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"saqp"
 )
@@ -52,10 +61,19 @@ func main() {
 		faults    = flag.Bool("faults", false, "inject the default deterministic fault plan into the simulated run (crashes, slowdowns, transient task failures)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault plan used with -faults")
 		admin     = flag.String("admin", "", "serve the query through the serving engine and host the live introspection endpoint on this address (host:port) until SIGINT/SIGTERM")
+		listen    = flag.String("listen", "", "host the TCP query frontend on this address (host:port) until SIGINT/SIGTERM; RESP-style SUBMIT/WAIT/STATS/EXPLAIN/METRICS/PING/QUIT, makes -query optional")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(),
+			"saqp — semantics-aware analytic-query prediction: compile a HiveQL query,\n"+
+				"estimate selectivities, predict execution time/WRD, and optionally simulate,\n"+
+				"serve via the admin endpoint (-admin), or host the TCP frontend (-listen).\n\n"+
+				"Usage: saqp -query \"SELECT ...\" [flags]   or   saqp -listen :6380 [flags]\n\nFlags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-	if *sql == "" {
-		fmt.Fprintln(os.Stderr, "saqp: -query is required")
+	if *sql == "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "saqp: -query is required (unless -listen is set)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,14 +81,14 @@ func main() {
 	if *faults {
 		fp = saqp.NewFaultPlan(saqp.DefaultFaultSpec(*faultSeed))
 	}
-	if err := run(*sql, *sf, *train, *queries, *models, *traceOut, *promOut, *schedler, *seed, fp, *admin); err != nil {
+	if err := run(*sql, *sf, *train, *queries, *models, *traceOut, *promOut, *schedler, *seed, fp, *admin, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "saqp:", err)
 		os.Exit(1)
 	}
 }
 
 func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
-	traceOut, promOut, scheduler string, seed uint64, fp *saqp.FaultPlan, admin string) error {
+	traceOut, promOut, scheduler string, seed uint64, fp *saqp.FaultPlan, admin, listen string) error {
 	var o *saqp.Observer
 	var traceFile *os.File
 	if traceOut != "" || promOut != "" {
@@ -97,6 +115,15 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
 			fmt.Printf("Loaded trained models from %s\n", modelsPath)
 			train = false
 		}
+	}
+	if sql == "" {
+		// -listen without -query: no one-shot report, straight to serving.
+		if train {
+			if err := trainModels(fw, trainQueries, modelsPath); err != nil {
+				return err
+			}
+		}
+		return serveNet(fw, scheduler, listen)
 	}
 	dag, err := fw.Compile(sql)
 	if err != nil {
@@ -129,23 +156,8 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
 		return serveAdmin(fw, sql, scheduler, seed, admin)
 	}
 	if train {
-		fmt.Printf("\nTraining time models on %d synthetic queries...\n", trainQueries)
-		cfg := saqp.DefaultExperimentConfig()
-		cfg.CorpusQueries = trainQueries
-		art, err := saqp.BuildTrainedArtifacts(cfg)
-		if err != nil {
+		if err := trainModels(fw, trainQueries, modelsPath); err != nil {
 			return err
-		}
-		fw.JobTime, fw.TaskTime = art.Jobs, art.Tasks
-		if modelsPath != "" {
-			data, err := fw.SaveModels("trained by cmd/saqp")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(modelsPath, data, 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("Saved trained models to %s\n", modelsPath)
 		}
 	}
 
@@ -169,7 +181,73 @@ func run(sql string, sf float64, train bool, trainQueries int, modelsPath,
 	if err := simulate(fw, o, est, traceFile, traceOut, promOut, scheduler, seed, fp); err != nil {
 		return err
 	}
-	return serveAdmin(fw, sql, scheduler, seed, admin)
+	if err := serveAdmin(fw, sql, scheduler, seed, admin); err != nil {
+		return err
+	}
+	return serveNet(fw, scheduler, listen)
+}
+
+// trainModels fits the time models on a synthetic corpus and saves
+// them when a models path is given.
+func trainModels(fw *saqp.Framework, trainQueries int, modelsPath string) error {
+	fmt.Printf("\nTraining time models on %d synthetic queries...\n", trainQueries)
+	cfg := saqp.DefaultExperimentConfig()
+	cfg.CorpusQueries = trainQueries
+	art, err := saqp.BuildTrainedArtifacts(cfg)
+	if err != nil {
+		return err
+	}
+	fw.JobTime, fw.TaskTime = art.Jobs, art.Tasks
+	if modelsPath != "" {
+		data, err := fw.SaveModels("trained by cmd/saqp")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(modelsPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Saved trained models to %s\n", modelsPath)
+	}
+	return nil
+}
+
+// netDrainTimeout bounds the graceful drain after SIGINT/SIGTERM
+// before remaining connections are torn down.
+const netDrainTimeout = 30 * time.Second
+
+// serveNet hosts the TCP query frontend until SIGINT/SIGTERM, then
+// drains it and closes the serving engine. A no-op when addr is empty.
+func serveNet(fw *saqp.Framework, scheduler, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	srv, err := fw.NewServer(saqp.ServerOptions{Scheduler: scheduler})
+	if err != nil {
+		return err
+	}
+	ns, err := fw.NewNetServer(srv, saqp.NetOptions{Addr: addr, BusyQueueDepth: 256})
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	mode := "untrained (FIFO admission)"
+	if fw.TaskTime != nil {
+		mode = "trained (WRD admission)"
+	}
+	fmt.Printf("\nTCP query frontend live at %s, models %s\n", ns.Addr(), mode)
+	fmt.Println("Commands (inline or RESP arrays, CRLF-terminated): SUBMIT / WAIT / STATS / EXPLAIN / METRICS / PING / QUIT.")
+	fmt.Println("Ctrl-C (SIGINT/SIGTERM) to drain and shut down.")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	<-sig
+	fmt.Println("draining connections")
+	ctx, cancel := context.WithTimeout(context.Background(), netDrainTimeout)
+	defer cancel()
+	if err := ns.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "saqp: drain incomplete:", err)
+	}
+	return srv.Close()
 }
 
 // serveAdmin serves the query once through the concurrent serving engine

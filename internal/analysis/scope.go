@@ -33,6 +33,14 @@ var DeterministicPackages = []string{
 	// thresholds and error windows all count samples, never the clock,
 	// and per-operator iteration is sorted before any output.
 	"saqp/internal/learn",
+	// The wire codec promises that every accepted frame re-encodes
+	// byte-identically (the fuzzer's round-trip property) and that
+	// golden transcripts stay byte-stable; a clock or map-ordered
+	// field anywhere in encode/decode would break both. The
+	// connection loop above it (internal/net) is deliberately NOT
+	// listed: deadlines and accept scheduling are wall-clock by
+	// nature, and the boundary keeps that entropy out of the codec.
+	"saqp/internal/net/proto",
 	// Shared substrate of the seeded core: values, traces and numeric
 	// helpers feed directly into simulated execution, so entropy here
 	// would surface as nondeterministic schedules downstream.

@@ -1,0 +1,42 @@
+package proto
+
+import (
+	"bufio"
+	"io"
+	"testing"
+)
+
+var hotSinkInt int64
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for the wire codec: encoding reply frames and parsing integer
+// headers run once per command on every connection, so neither may
+// allocate in steady state.
+func TestHotPathAllocs(t *testing.T) {
+	e := NewEncoder(bufio.NewWriterSize(io.Discard, 1<<16))
+	payload := []byte("SELECT COUNT(*) FROM lineitem")
+	digits := []byte("922337203685477")
+	reply := Array(Simple("OK"), Int(42), Bulk(payload))
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Simple", func() { e.Simple("OK") }},
+		{"Error", func() { e.Error("BUSY", "queue deep") }},
+		{"Int", func() { e.Int(123456789) }},
+		{"Bulk", func() { e.Bulk(payload) }},
+		{"BulkString", func() { e.BulkString("q-0001") }},
+		{"BulkFloat", func() { e.BulkFloat(12.3456789, 3) }},
+		{"Array", func() { e.Array(3) }},
+		{"Value", func() { e.Value(reply) }},
+		{"parseInt", func() { hotSinkInt, _ = parseInt(digits) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(200, c.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per call; //saqp:hotpath functions must not allocate", c.name, n)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}

@@ -1,0 +1,204 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// decode parses one frame from raw under lim and returns how many
+// bytes were consumed alongside the value.
+func decode(t *testing.T, raw string, lim Limits) (Value, int, error) {
+	t.Helper()
+	br := bufio.NewReaderSize(strings.NewReader(raw), lim.MaxLine+2)
+	v, err := ReadValue(br, lim)
+	rest, rerr := io.ReadAll(br)
+	if rerr != nil {
+		t.Fatalf("draining reader: %v", rerr)
+	}
+	return v, len(raw) - len(rest), err
+}
+
+func TestDecodeValid(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want Value
+	}{
+		{"simple", "+PONG\r\n", Simple("PONG")},
+		{"simple empty", "+\r\n", Simple("")},
+		{"error", "-BUSY queue deep\r\n", ErrorValue("BUSY", "queue deep")},
+		{"int", ":42\r\n", Int(42)},
+		{"int negative", ":-7\r\n", Int(-7)},
+		{"int zero", ":0\r\n", Int(0)},
+		{"bulk", "$5\r\nhello\r\n", BulkString("hello")},
+		{"bulk empty", "$0\r\n\r\n", BulkString("")},
+		{"bulk binary", "$4\r\na\x00b\r\r\n", Bulk([]byte{'a', 0, 'b', '\r'})},
+		{"array empty", "*0\r\n", Array()},
+		{"array flat", "*2\r\n$4\r\nPING\r\n:1\r\n", Array(BulkString("PING"), Int(1))},
+		{"array nested", "*2\r\n*1\r\n+ok\r\n$1\r\nx\r\n",
+			Array(Array(Simple("ok")), BulkString("x"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, n, err := decode(t, tc.raw, DefaultLimits())
+			if err != nil {
+				t.Fatalf("ReadValue(%q): %v", tc.raw, err)
+			}
+			if n != len(tc.raw) {
+				t.Errorf("consumed %d bytes of %d — decoder must not under- or over-read", n, len(tc.raw))
+			}
+			if !v.Equal(tc.want) {
+				t.Errorf("decoded %+v, want %+v", v, tc.want)
+			}
+			if got := AppendValue(nil, v); string(got) != tc.raw {
+				t.Errorf("re-encode = %q, want the canonical input %q", got, tc.raw)
+			}
+		})
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"unknown marker", "?what\r\n"},
+		{"bare LF line", "+PONG\n"},
+		{"junk int", ":12a\r\n"},
+		{"empty int", ":\r\n"},
+		{"bare minus", ":-\r\n"},
+		{"int overflow", ":92233720368547758070\r\n"},
+		{"int leading zero", ":007\r\n"},
+		{"int negative zero", ":-0\r\n"},
+		{"negative bulk length", "$-1\r\n"},
+		{"junk bulk length", "$five\r\n"},
+		{"bulk payload missing CRLF", "$3\r\nabcXY"},
+		{"negative array length", "*-1\r\n"},
+		{"junk array length", "*x\r\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := decode(t, tc.raw, DefaultLimits())
+			var we *WireError
+			if !errors.As(err, &we) {
+				t.Fatalf("ReadValue(%q) = %v, want *WireError", tc.raw, err)
+			}
+		})
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	// Every strict prefix of a valid multi-byte stream must fail with
+	// ErrUnexpectedEOF (mid-frame) or io.EOF (empty input), never hang,
+	// panic, or succeed.
+	full := "*2\r\n$4\r\nPING\r\n:12\r\n"
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := decode(t, full[:cut], DefaultLimits())
+		if cut == 0 {
+			if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("cut=0: got %v, want clean io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut=%d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestDecodeLimits(t *testing.T) {
+	lim := Limits{MaxLine: 8, MaxBulk: 4, MaxArray: 2, MaxDepth: 2}
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"line over limit", "+" + strings.Repeat("a", 9) + "\r\n"},
+		{"bulk over limit", "$5\r\nhello\r\n"},
+		{"array over limit", "*3\r\n:1\r\n:2\r\n:3\r\n"},
+		{"nesting over limit", "*1\r\n*1\r\n*1\r\n:1\r\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := decode(t, tc.raw, lim)
+			var we *WireError
+			if !errors.As(err, &we) {
+				t.Fatalf("ReadValue(%q) = %v, want *WireError", tc.raw, err)
+			}
+		})
+	}
+	// At-limit inputs must still decode.
+	for _, ok := range []string{
+		"+" + strings.Repeat("a", 8) + "\r\n",
+		"$4\r\nhell\r\n",
+		"*2\r\n:1\r\n:2\r\n",
+		"*1\r\n*2\r\n:1\r\n:2\r\n",
+	} {
+		if _, _, err := decode(t, ok, lim); err != nil {
+			t.Errorf("ReadValue(%q) at limit: %v", ok, err)
+		}
+	}
+}
+
+func TestEncoderStreamAndStickyError(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(bufio.NewWriter(&buf))
+	e.Simple("OK")
+	e.Error("BUSY", "queue deep")
+	e.Int(-3)
+	e.Bulk([]byte("hi"))
+	e.BulkString("yo")
+	e.BulkFloat(1.5, 3)
+	e.Array(1)
+	e.Int(9)
+	e.Value(Array(Simple("a"), Int(1)))
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-BUSY queue deep\r\n:-3\r\n$2\r\nhi\r\n$2\r\nyo\r\n$5\r\n1.500\r\n*1\r\n:9\r\n*2\r\n+a\r\n:1\r\n"
+	if buf.String() != want {
+		t.Errorf("stream = %q, want %q", buf.String(), want)
+	}
+
+	// Unknown kinds latch the sticky error and later calls stay no-ops.
+	e2 := NewEncoder(bufio.NewWriter(&buf))
+	e2.Value(Value{Kind: Kind('?')})
+	if e2.Err() == nil {
+		t.Fatal("encoding an unknown kind must latch an error")
+	}
+	before := e2.Err()
+	e2.Simple("ignored")
+	if e2.Err() != before {
+		t.Error("sticky error was overwritten")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := Sanitize("a\r\nb"); got != "a  b" {
+		t.Errorf("Sanitize = %q", got)
+	}
+	long := strings.Repeat("x", 1000)
+	if got := Sanitize(long); len(got) != 256 {
+		t.Errorf("Sanitize did not clip: %d bytes", len(got))
+	}
+}
+
+func TestParseIntBounds(t *testing.T) {
+	if n, ok := parseInt([]byte("9223372036854775807")); !ok || n != 9223372036854775807 {
+		t.Errorf("max int64: %d %v", n, ok)
+	}
+	if _, ok := parseInt([]byte("9223372036854775808")); ok {
+		t.Error("max int64 + 1 must overflow")
+	}
+	if n, ok := parseInt([]byte("-42")); !ok || n != -42 {
+		t.Errorf("-42: %d %v", n, ok)
+	}
+	for _, bad := range []string{"007", "-0", "00", "+1", ""} {
+		if _, ok := parseInt([]byte(bad)); ok {
+			t.Errorf("parseInt(%q) accepted a non-canonical form", bad)
+		}
+	}
+}

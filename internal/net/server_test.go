@@ -1,0 +1,451 @@
+package net
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	stdnet "net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"saqp/internal/net/proto"
+	"saqp/internal/obs"
+	"saqp/internal/serve"
+)
+
+// fakePending is a hand-resolved ticket.
+type fakePending struct {
+	id   string
+	done chan struct{}
+	res  serve.Result
+	err  error
+}
+
+func (p *fakePending) ID() string { return p.id }
+
+func (p *fakePending) Wait(ctx context.Context) (serve.Result, error) {
+	select {
+	case <-p.done:
+		return p.res, p.err
+	case <-ctx.Done():
+		return serve.Result{}, ctx.Err()
+	}
+}
+
+// fakeBackend is a scriptable Backend: it can auto-resolve
+// submissions, hold them for manual release, fail them, or report an
+// arbitrary queue depth.
+type fakeBackend struct {
+	mu         sync.Mutex
+	next       int
+	hold       bool  // leave tickets unresolved until release
+	submitErr  error // returned by Submit when set
+	queueDepth int   // reported via Stats
+	completed  uint64
+	pending    []*fakePending
+}
+
+func (b *fakeBackend) Submit(ctx context.Context, sql string, seed uint64) (Pending, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.submitErr != nil {
+		return nil, b.submitErr
+	}
+	b.next++
+	p := &fakePending{
+		id:   fmt.Sprintf("q%06d", b.next),
+		done: make(chan struct{}),
+		res:  serve.Result{SimSec: 1.5, Jobs: 1, Attempts: 1, SQL: sql},
+	}
+	p.res.ID = p.id
+	if b.hold {
+		b.pending = append(b.pending, p)
+	} else {
+		b.completed++
+		close(p.done)
+	}
+	return p, nil
+}
+
+// release resolves every held ticket.
+func (b *fakeBackend) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range b.pending {
+		b.completed++
+		close(p.done)
+	}
+	b.pending = nil
+}
+
+func (b *fakeBackend) Stats() serve.Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return serve.Stats{QueueDepth: b.queueDepth, Completed: b.completed}
+}
+
+// startServer boots a frontend on a free port and tears it down with
+// the test.
+func startServer(t *testing.T, cfg Config) (*Server, *fakeBackend) {
+	t.Helper()
+	b, ok := cfg.Backend.(*fakeBackend)
+	if cfg.Backend == nil {
+		b, ok = &fakeBackend{}, true
+		cfg.Backend = b
+	}
+	if !ok {
+		t.Fatal("startServer wants a *fakeBackend")
+	}
+	cfg.Addr = "127.0.0.1:0"
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, b
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestServerCommands(t *testing.T) {
+	s, _ := startServer(t, Config{
+		Explain:     func(sql string) ([]string, error) { return []string{"plan for " + sql, "2 jobs"}, nil },
+		MetricsText: func() ([]byte, error) { return []byte("a 1\nb 2\n"), nil },
+	})
+	c := dialT(t, s.Addr())
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("PING: %v", err)
+	}
+	id, err := c.Submit("SELECT COUNT(*) FROM lineitem", 7)
+	if err != nil {
+		t.Fatalf("SUBMIT: %v", err)
+	}
+	if id != "q000001" {
+		t.Fatalf("SUBMIT id = %q", id)
+	}
+	res, err := c.Wait(id)
+	if err != nil {
+		t.Fatalf("WAIT: %v", err)
+	}
+	if res.ID != id || res.SimSec != 1.5 || res.Jobs != 1 || res.Attempts != 1 {
+		t.Fatalf("WAIT result = %+v", res)
+	}
+	if _, err := c.Wait(id); err == nil {
+		t.Fatal("WAIT on a consumed ticket must fail")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	if st["completed"] != 1 {
+		t.Fatalf("STATS completed = %d, want 1", st["completed"])
+	}
+	lines, err := c.Explain("SELECT 1")
+	if err != nil || len(lines) != 2 || lines[0] != "plan for SELECT 1" {
+		t.Fatalf("EXPLAIN = %v, %v", lines, err)
+	}
+	metrics, err := c.Metrics()
+	if err != nil || len(metrics) != 2 || metrics[1] != "b 2" {
+		t.Fatalf("METRICS = %v, %v", metrics, err)
+	}
+	var se *ServerError
+	if _, err := c.roundTrip("NOSUCH"); !errors.As(err, &se) || se.Code != "ERR" {
+		t.Fatalf("unknown command error = %v", err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatalf("QUIT: %v", err)
+	}
+}
+
+func TestServerInlineRequests(t *testing.T) {
+	s, _ := startServer(t, Config{})
+	conn, err := stdnet.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	br := bufio.NewReader(conn)
+	send := func(line string) proto.Value {
+		t.Helper()
+		if _, err := io.WriteString(conn, line+"\r\n"); err != nil {
+			t.Fatal(err)
+		}
+		v, err := proto.ReadValue(br, proto.DefaultLimits())
+		if err != nil {
+			t.Fatalf("reply to %q: %v", line, err)
+		}
+		return v
+	}
+	if v := send("ping"); !v.Equal(proto.Simple("PONG")) {
+		t.Fatalf("inline ping reply = %+v", v)
+	}
+	if v := send("SUBMIT SELECT COUNT(*) FROM orders"); !v.Equal(proto.Simple("q000001")) {
+		t.Fatalf("inline SUBMIT reply = %+v", v)
+	}
+	if v := send("WAIT q000001"); v.Kind != proto.KindArray {
+		t.Fatalf("inline WAIT reply kind = %c", v.Kind)
+	}
+}
+
+func TestServerConnectionLimit(t *testing.T) {
+	s, _ := startServer(t, Config{MaxConns: 2})
+	c1 := dialT(t, s.Addr())
+	c2 := dialT(t, s.Addr())
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The third connection is refused with -BUSY and closed.
+	conn, err := stdnet.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	br := bufio.NewReader(conn)
+	v, err := proto.ReadValue(br, proto.DefaultLimits())
+	if err != nil {
+		t.Fatalf("refusal frame: %v", err)
+	}
+	if v.Kind != proto.KindError || !strings.HasPrefix(string(v.Str), "BUSY") {
+		t.Fatalf("refusal = %+v, want -BUSY", v)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("refused connection still open: %v", err)
+	}
+	// Freeing a slot lets a new connection in.
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c4, err := Dial(s.Addr())
+		if err == nil {
+			if err := c4.Ping(); err == nil {
+				_ = c4.Close()
+				break
+			}
+			_ = c4.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection slot was never released")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerIdleDisconnect(t *testing.T) {
+	s, _ := startServer(t, Config{IdleTimeout: 50 * time.Millisecond})
+	conn, err := stdnet.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Stay silent: the server must hang up on its own.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != io.EOF {
+		t.Fatalf("idle connection read = %v, want EOF disconnect", err)
+	}
+}
+
+func TestServerBusyBackpressure(t *testing.T) {
+	ob := obs.New(nil)
+	b := &fakeBackend{queueDepth: 10}
+	s, _ := startServer(t, Config{Backend: b, BusyQueueDepth: 10, Observer: ob})
+	c := dialT(t, s.Addr())
+
+	// Saturated admission queue: typed -BUSY, nothing admitted.
+	_, err := c.Submit("SELECT 1", 0)
+	if !IsBusy(err) {
+		t.Fatalf("Submit under saturation = %v, want -BUSY", err)
+	}
+	// Engine-level queue-full maps to -BUSY too.
+	b.mu.Lock()
+	b.queueDepth, b.submitErr = 0, serve.ErrQueueFull
+	b.mu.Unlock()
+	if _, err := c.Submit("SELECT 1", 0); !IsBusy(err) {
+		t.Fatalf("Submit with ErrQueueFull = %v, want -BUSY", err)
+	}
+	// Clearing the pressure admits again.
+	b.mu.Lock()
+	b.submitErr = nil
+	b.mu.Unlock()
+	if _, err := c.Submit("SELECT 1", 0); err != nil {
+		t.Fatalf("Submit after pressure cleared: %v", err)
+	}
+	if n := ob.Metrics.Counter(obs.MNetBusyRejections).Value(); n != 2 {
+		t.Fatalf("busy rejections metric = %v, want 2", n)
+	}
+}
+
+func TestServerPendingLimit(t *testing.T) {
+	b := &fakeBackend{hold: true}
+	s, _ := startServer(t, Config{Backend: b, MaxPending: 2})
+	defer b.release()
+	c := dialT(t, s.Addr())
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit("SELECT 1", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Submit("SELECT 1", 9); !IsBusy(err) {
+		t.Fatalf("Submit past MaxPending = %v, want -BUSY", err)
+	}
+}
+
+func TestServerParseErrorCloses(t *testing.T) {
+	ob := obs.New(nil)
+	s, _ := startServer(t, Config{Observer: ob})
+	conn, err := stdnet.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if _, err := io.WriteString(conn, "$nonsense\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	v, err := proto.ReadValue(br, proto.DefaultLimits())
+	if err != nil {
+		t.Fatalf("error frame: %v", err)
+	}
+	if v.Kind != proto.KindError || !strings.Contains(string(v.Str), "proto") {
+		t.Fatalf("parse-error reply = %+v", v)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection survived a parse error: %v", err)
+	}
+	if n := ob.Metrics.Counter(obs.MNetParseErrors).Value(); n != 1 {
+		t.Fatalf("parse errors metric = %v, want 1", n)
+	}
+}
+
+// TestServerGracefulDrain is the no-lost-completions contract: a WAIT
+// in flight when Shutdown begins still delivers its result before the
+// connection closes.
+func TestServerGracefulDrain(t *testing.T) {
+	b := &fakeBackend{hold: true}
+	s, _ := startServer(t, Config{Backend: b})
+	c := dialT(t, s.Addr())
+	id, err := c.Submit("SELECT COUNT(*) FROM lineitem", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type waitOut struct {
+		res serve.Result
+		err error
+	}
+	waited := make(chan waitOut, 1)
+	go func() {
+		res, err := c.Wait(id)
+		waited <- waitOut{res, err}
+	}()
+	// Give the WAIT time to reach the server before draining.
+	time.Sleep(50 * time.Millisecond)
+
+	shutdown := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdown <- s.Shutdown(ctx)
+	}()
+	// Shutdown must block on the in-flight WAIT, not abandon it.
+	select {
+	case err := <-shutdown:
+		t.Fatalf("Shutdown returned %v with a WAIT still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	b.release()
+	out := <-waited
+	if out.err != nil {
+		t.Fatalf("in-flight WAIT lost its completion: %v", out.err)
+	}
+	if out.res.ID != id {
+		t.Fatalf("drained WAIT result = %+v", out.res)
+	}
+	if err := <-shutdown; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Post-drain the server accepts nothing new.
+	if _, err := Dial(s.Addr()); err == nil {
+		t.Fatal("Dial succeeded after Shutdown")
+	}
+}
+
+func TestServerShutdownDeadline(t *testing.T) {
+	b := &fakeBackend{hold: true}
+	s, _ := startServer(t, Config{Backend: b})
+	c := dialT(t, s.Addr())
+	id, err := c.Submit("SELECT 1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = c.Wait(id) // torn down by the deadline, error expected
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown past deadline = %v, want DeadlineExceeded", err)
+	}
+	b.release()
+}
+
+// TestServerGoroutineLeak mirrors serve_stress_test.go: after serving
+// traffic and closing, the accept loop and every connection handler
+// must be gone.
+func TestServerGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, _ := startServer(t, Config{})
+	clients := make([]*Client, 8)
+	for i := range clients {
+		clients[i] = dialT(t, s.Addr())
+		id, err := clients[i].Submit("SELECT 1", uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clients[i].Wait(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after Close\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+// Network-frontend instrumentation: the TCP query server
+// (internal/net) reports its connection and command lifecycle here —
+// accepts, limit rejections, closes, per-command counts, wire parse
+// errors, and backpressure refusals. Like the serving layer, net
+// metrics are counts and gauges only; per-request causality stays in
+// the span trees recorded by the serving engine underneath.
+
+// Net metric names.
+const (
+	MNetConnsAccepted  = "saqp_net_connections_accepted_total"
+	MNetConnsRejected  = "saqp_net_connections_rejected_total"
+	MNetConnsClosed    = "saqp_net_connections_closed_total"
+	MNetConnsActive    = "saqp_net_connections_active"
+	MNetCommands       = "saqp_net_commands_total"
+	MNetParseErrors    = "saqp_net_parse_errors_total"
+	MNetBusyRejections = "saqp_net_busy_rejections_total"
+	MNetUnknownCmds    = "saqp_net_unknown_commands_total"
+)
+
+// NetConnAccepted records one accepted connection and the resulting
+// active-connection count.
+func (o *Observer) NetConnAccepted(active int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MNetConnsAccepted).Inc()
+	o.Metrics.Gauge(MNetConnsActive).Set(float64(active))
+}
+
+// NetConnRejected counts a connection refused by the connection limit.
+func (o *Observer) NetConnRejected() { o.counter(MNetConnsRejected) }
+
+// NetConnClosed records one connection ending and the resulting
+// active-connection count.
+func (o *Observer) NetConnClosed(active int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MNetConnsClosed).Inc()
+	o.Metrics.Gauge(MNetConnsActive).Set(float64(active))
+}
+
+// NetCommand counts one dispatched wire command.
+func (o *Observer) NetCommand() { o.counter(MNetCommands) }
+
+// NetParseError counts one malformed wire frame (the connection closes
+// after the error reply).
+func (o *Observer) NetParseError() { o.counter(MNetParseErrors) }
+
+// NetBusy counts one submission refused with -BUSY backpressure.
+func (o *Observer) NetBusy() { o.counter(MNetBusyRejections) }
+
+// NetUnknownCommand counts one command verb the server does not speak.
+func (o *Observer) NetUnknownCommand() { o.counter(MNetUnknownCmds) }

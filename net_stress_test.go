@@ -1,0 +1,135 @@
+package saqp_test
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"saqp"
+)
+
+// TestServerNetworkStress hammers the TCP frontend with 64 real client
+// connections replaying the TPC-H mix (run under `go test -race` via
+// `make stress`). It asserts the wire layer's exactly-once contract:
+// every submission a client sees accepted is completed and observed by
+// exactly one successful WAIT, the engine's own counters agree with the
+// client-side tally, a graceful drain loses nothing, and neither the
+// frontend nor the engine leaks goroutines afterwards.
+func TestServerNetworkStress(t *testing.T) {
+	fw, err := saqp.NewFramework(saqp.Options{Observer: saqp.NewObserver(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := saqp.TPCHNames()
+	mix := make([]string, len(names))
+	for i, n := range names {
+		if mix[i], err = saqp.TPCHSQL(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	srv, err := fw.NewServer(saqp.ServerOptions{Workers: 8, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := fw.NewNetServer(srv, saqp.NetOptions{
+		Addr:     "127.0.0.1:0",
+		MaxConns: 80, // headroom over the 64 stress connections
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		conns   = 64
+		perConn = 4
+		total   = conns * perConn
+	)
+	var (
+		completed int64 // successful WAITs observed client-side
+		cacheHits int64 // results flagged cache_hit on the wire
+		wg        sync.WaitGroup
+	)
+	start := make(chan struct{})
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := saqp.DialNet(ns.Addr())
+			if err != nil {
+				t.Errorf("conn %d: dial: %v", g, err)
+				return
+			}
+			defer cl.Close()
+			<-start
+			for i := 0; i < perConn; i++ {
+				n := g*perConn + i
+				// Seeds cycle with the mix so repeated queries share
+				// SQL and ground-truth cost: cache hits are real hits.
+				sql := mix[n%len(mix)]
+				id, err := cl.Submit(sql, uint64(n%len(mix)))
+				if err != nil {
+					t.Errorf("conn %d: submit: %v", g, err)
+					return
+				}
+				res, err := cl.Wait(id)
+				if err != nil {
+					t.Errorf("conn %d: wait %s: %v", g, id, err)
+					return
+				}
+				if res.ID != id {
+					t.Errorf("conn %d: WAIT %s returned result for %s", g, id, res.ID)
+				}
+				atomic.AddInt64(&completed, 1)
+				if res.CacheHit {
+					atomic.AddInt64(&cacheHits, 1)
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	// Engine accounting must match the client-side tally exactly: a
+	// submission the wire acknowledged but the engine never completed
+	// (or completed twice) is a lost or duplicated result.
+	st := srv.Stats()
+	if completed != total {
+		t.Fatalf("client-observed completions = %d, want %d", completed, total)
+	}
+	if st.Completed != uint64(completed) {
+		t.Fatalf("engine completions = %d, client-observed = %d (lost or duplicated results)",
+			st.Completed, completed)
+	}
+	if st.Submitted != uint64(total) || st.Errors != 0 || st.Rejected != 0 || st.Canceled != 0 {
+		t.Fatalf("engine accounting: submitted=%d errors=%d rejected=%d canceled=%d, want %d/0/0/0",
+			st.Submitted, st.Errors, st.Rejected, st.Canceled, total)
+	}
+	if cacheHits == 0 {
+		t.Fatalf("no cache hits across %d submissions of %d distinct queries", total, len(mix))
+	}
+
+	// A graceful drain with no in-flight work must complete promptly
+	// and leave nothing running.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ns.Shutdown(ctx); err != nil {
+		t.Fatalf("frontend drain: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before stress, %d after drain", before, runtime.NumGoroutine())
+}

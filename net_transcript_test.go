@@ -1,0 +1,206 @@
+package saqp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"saqp/internal/net/proto"
+)
+
+// netTranscriptDir holds the checked-in golden wire transcripts: one
+// file per session, alternating `C: ` request lines (sent verbatim plus
+// CRLF) and `S: ` reply lines (the server's exact frame bytes, split on
+// CRLF). Because every reply field uses fixed-precision formatting and
+// the engine is fully deterministic for a fixed submission order, the
+// transcripts are byte-stable across runs — any diff is a wire-format
+// or model change. Regenerate deliberately with:
+//
+//	SAQP_UPDATE_GOLDEN=1 go test -run TestGoldenNetTranscripts .
+const netTranscriptDir = "testdata"
+
+// netTranscriptScript is one golden session: the transcript file it
+// pins and the inline commands the test replays to produce it.
+type netTranscriptScript struct {
+	file string
+	cmds []string
+}
+
+// netTranscriptScripts builds the replayed sessions. SQL is collapsed
+// to one line because the inline request form is CRLF-terminated; the
+// inline form carries no seed argument, so every SUBMIT here runs with
+// seed 0 and repeated SUBMITs of the same query are true cache hits.
+func netTranscriptScripts(t *testing.T) []netTranscriptScript {
+	t.Helper()
+	sql := func(name string) string {
+		s, err := TPCHSQL(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(strings.Fields(s), " ")
+	}
+	return []netTranscriptScript{
+		{
+			// The paper's Figures 1-2 "QA" query end to end: submit,
+			// collect the full result frame, snapshot engine counters.
+			file: "net_transcript_q14.txt",
+			cmds: []string{
+				"PING",
+				"SUBMIT " + sql("q14"),
+				"WAIT q000001",
+				"STATS",
+				"QUIT",
+			},
+		},
+		{
+			// Result-cache behavior on the wire: the second q6 SUBMIT
+			// (same SQL, same implicit seed) must come back as a cache
+			// hit, visible in both the WAIT frame and STATS.
+			file: "net_transcript_cache.txt",
+			cmds: []string{
+				"SUBMIT " + sql("q6"),
+				"WAIT q000001",
+				"SUBMIT " + sql("q6"),
+				"WAIT q000002",
+				"SUBMIT " + sql("q1"),
+				"WAIT q000003",
+				"STATS",
+				"QUIT",
+			},
+		},
+		{
+			// Introspection plus the error surface: EXPLAIN's per-job
+			// plan lines, METRICS without an observer, and the exact
+			// -ERR frames for a bad query, a bad verb, and an unknown
+			// ticket.
+			file: "net_transcript_explain.txt",
+			cmds: []string{
+				"EXPLAIN " + sql("q1"),
+				"METRICS",
+				"EXPLAIN SELECT FROM nowhere",
+				"WAIT q999999",
+				"FROB",
+				"QUIT",
+			},
+		},
+	}
+}
+
+// TestGoldenNetTranscripts replays each scripted session against a
+// live NetServer on loopback and compares the full conversation —
+// request and reply bytes — against the checked-in transcript.
+func TestGoldenNetTranscripts(t *testing.T) {
+	fw, err := NewFramework(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.TrainDefault(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sc := range netTranscriptScripts(t) {
+		t.Run(sc.file, func(t *testing.T) {
+			got := replayNetTranscript(t, fw, sc)
+			path := filepath.Join(netTranscriptDir, sc.file)
+			if os.Getenv("SAQP_UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll(netTranscriptDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden transcript (run with SAQP_UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("wire transcript drifted from %s:\n%s\nregenerate deliberately with SAQP_UPDATE_GOLDEN=1 if the protocol change is intended",
+					path, transcriptDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// replayNetTranscript runs one scripted session against a fresh
+// single-worker server (so ticket ids and counters are deterministic)
+// and renders the conversation in the transcript format.
+func replayNetTranscript(t *testing.T, fw *Framework, sc netTranscriptScript) string {
+	t.Helper()
+	srv, err := fw.NewServer(ServerOptions{Workers: 1, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ns, err := fw.NewNetServer(srv, NetOptions{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	conn, err := net.DialTimeout("tcp", ns.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every byte the server sends is teed into reply; the session is
+	// strict request/reply lockstep, so between commands the socket is
+	// quiet and each captured span is exactly one reply frame.
+	var reply bytes.Buffer
+	br := bufio.NewReaderSize(io.TeeReader(conn, &reply), 1<<16)
+	lim := proto.DefaultLimits()
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "# Golden wire transcript %s — do not edit by hand.\n", sc.file)
+	out.WriteString("# Regenerate: SAQP_UPDATE_GOLDEN=1 go test -run TestGoldenNetTranscripts .\n")
+	for _, cmd := range sc.cmds {
+		if _, err := io.WriteString(conn, cmd+"\r\n"); err != nil {
+			t.Fatalf("writing %q: %v", cmd, err)
+		}
+		reply.Reset()
+		if _, err := proto.ReadValue(br, lim); err != nil {
+			t.Fatalf("reading reply to %q: %v", cmd, err)
+		}
+		out.WriteString("C: " + cmd + "\n")
+		frame := reply.String()
+		if !strings.HasSuffix(frame, "\r\n") {
+			t.Fatalf("reply to %q does not end in CRLF: %q", cmd, frame)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(frame, "\r\n"), "\r\n") {
+			out.WriteString("S: " + line + "\n")
+		}
+	}
+	return out.String()
+}
+
+// transcriptDiff renders the first point where two transcripts
+// disagree, with one line of context either side.
+func transcriptDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, w, g)
+		}
+	}
+	return "transcripts differ only in length"
+}
