@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint lint-self bench-alloc fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn bench-net ci clean
+.PHONY: all build test race lint lint-self bench-alloc fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn bench-net bench-shard ci clean
 
 all: build
 
@@ -54,10 +54,12 @@ fuzz-smoke:
 # Concurrency stress: the serving-layer and network-frontend stress/
 # property suites under the race detector, run twice to vary goroutine
 # interleavings (includes the 64-connection TCP stress test at the
-# root and the connection-lifecycle suite in internal/net).
+# root, the connection-lifecycle suite in internal/net, and the
+# shard-cluster failover stress test with its byte-identical
+# event-log replay check).
 stress:
-	$(GO) test -race -count=2 -run 'TestServer|TestProperty|TestSingleFlight|TestDeterministicSnapshots' \
-		. ./internal/serve ./internal/selectivity ./internal/net
+	$(GO) test -race -count=2 -run 'TestServer|TestProperty|TestSingleFlight|TestDeterministicSnapshots|TestShardCluster|TestEventLog|TestSubmitParks|TestSentinelQuorum' \
+		. ./internal/serve ./internal/selectivity ./internal/net ./internal/shardserve
 
 # Coverage gate for the serving engine: fail if internal/serve drops
 # below 85% statement coverage.
@@ -120,6 +122,24 @@ bench-net:
 		-net-conns $(NET_CONNS) -bench-out bench-out \
 		-net-baseline testdata/bench_baseline/BENCH_net.json -net-p99-gate 1.5
 
+# Sharded-serving benchmark: the same closed-loop TPC-H load through
+# one engine and through a SHARD_SHARDS-way fingerprint-routed cluster
+# (both with online learning on, so the comparison is fair), then a
+# failover phase under a deterministic crash plan. Fails on any lost
+# completion, on a failover phase with no actual failover, or when
+# cluster/single throughput scaling falls below SHARD_SCALE_GATE
+# derated by min(1, cores/shards). Writes bench-out/BENCH_shard.json
+# and prints a delta against the committed baseline.
+SHARD_QUERIES    ?= 4000
+SHARD_SHARDS     ?= 4
+SHARD_SCALE_GATE ?= 2.5
+bench-shard:
+	@mkdir -p bench-out
+	$(GO) run ./cmd/benchrunner -shard -shard-queries $(SHARD_QUERIES) \
+		-shard-shards $(SHARD_SHARDS) -bench-out bench-out \
+		-shard-baseline testdata/bench_baseline/BENCH_shard.json \
+		-shard-scale-gate $(SHARD_SCALE_GATE)
+
 # Regenerate the paper's tables and figures with full observability:
 # machine-readable BENCH_<exp>.json per experiment, a Perfetto-loadable
 # trace of the simulated runs (gzipped; Perfetto opens .json.gz
@@ -133,7 +153,7 @@ bench:
 	gzip -f -9 bench-out/runs.trace.json
 
 # Everything CI runs, in the same order.
-ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-fault bench-learn bench-net
+ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-fault bench-learn bench-net bench-shard
 
 clean:
 	rm -rf $(BIN) bench-out obs-out lint-out

@@ -1,0 +1,165 @@
+package saqp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"saqp/internal/net/proto"
+)
+
+// clusterStep is one request in a multi-connection cluster session:
+// which client connection sends it and the inline command text.
+type clusterStep struct {
+	conn int
+	cmd  string
+}
+
+// TestGoldenClusterTranscript pins the cluster wire protocol as one
+// byte-stable conversation across two client connections, one per
+// shard primary: a misrouted SUBMIT answered with -MOVED, the
+// re-SUBMIT on the owner returning a shard-prefixed ticket, WAIT for
+// the full result frame, EXPLAIN's shard/role/model attribution on
+// both the owner (plan) and a non-owner (-MOVED), and the CLUSTER
+// topology dump. Advertised addresses are fixed strings so redirect
+// targets in the transcript never depend on ephemeral ports.
+func TestGoldenClusterTranscript(t *testing.T) {
+	fw, err := NewFramework(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.TrainDefault(); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := fw.NewClusterServer(ClusterOptions{
+		Shards:    2,
+		Workers:   1,
+		CacheSize: 8,
+		Listen:    true,
+		Advertise: []string{
+			"10.0.0.1:7000", "10.0.0.1:7001",
+			"10.0.0.2:7000", "10.0.0.2:7001",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	// Routing is a pure function of normalized SQL and the catalog
+	// fingerprint, so which TPC-H query lands on which shard is fixed;
+	// pick one owned by each shard rather than hard-coding names.
+	var homeSQL, awaySQL string
+	for _, name := range TPCHNames() {
+		raw, err := TPCHSQL(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sql := strings.Join(strings.Fields(raw), " ")
+		ri, err := cs.Route(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case ri.Shard == 0 && homeSQL == "":
+			homeSQL = sql
+		case ri.Shard == 1 && awaySQL == "":
+			awaySQL = sql
+		}
+	}
+	if homeSQL == "" || awaySQL == "" {
+		t.Fatal("TPC-H mix does not cover both shards")
+	}
+
+	steps := []clusterStep{
+		{0, "CLUSTER"},
+		{0, "SUBMIT " + awaySQL}, // wrong shard: answered with -MOVED
+		{1, "SUBMIT " + awaySQL}, // owner accepts, shard-prefixed ticket
+		{1, "WAIT s1-q000001"},
+		{0, "SUBMIT " + homeSQL}, // local on shard 0, no redirect
+		{0, "WAIT s0-q000001"},
+		{1, "EXPLAIN " + awaySQL}, // owner: plan plus shard attribution
+		{0, "EXPLAIN " + awaySQL}, // non-owner: same -MOVED as SUBMIT
+		{0, "QUIT"},
+		{1, "QUIT"},
+	}
+	got := replayClusterTranscript(t, cs, steps)
+
+	path := filepath.Join(netTranscriptDir, "net_transcript_cluster.txt")
+	if os.Getenv("SAQP_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden transcript (run with SAQP_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("cluster wire transcript drifted from %s:\n%s\nregenerate deliberately with SAQP_UPDATE_GOLDEN=1 if the protocol change is intended",
+			path, transcriptDiff(string(want), got))
+	}
+}
+
+// replayClusterTranscript drives the scripted session over one raw
+// TCP connection per shard primary and renders it in the transcript
+// format, with `C<i>: `/`S<i>: ` labels identifying the connection.
+func replayClusterTranscript(t *testing.T, cs *ClusterServer, steps []clusterStep) string {
+	t.Helper()
+	type wire struct {
+		conn  net.Conn
+		reply *bytes.Buffer
+		br    *bufio.Reader
+	}
+	conns := make([]*wire, 2)
+	for i := range conns {
+		conn, err := net.DialTimeout("tcp", cs.NetAddr(i, ClusterPrimary), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		reply := &bytes.Buffer{}
+		conns[i] = &wire{
+			conn:  conn,
+			reply: reply,
+			br:    bufio.NewReaderSize(io.TeeReader(conn, reply), 1<<16),
+		}
+	}
+	lim := proto.DefaultLimits()
+
+	var out strings.Builder
+	out.WriteString("# Golden cluster wire transcript — do not edit by hand.\n")
+	out.WriteString("# C0/S0 talk to the shard-0 primary, C1/S1 to the shard-1 primary.\n")
+	out.WriteString("# Regenerate: SAQP_UPDATE_GOLDEN=1 go test -run TestGoldenClusterTranscript .\n")
+	for _, st := range steps {
+		w := conns[st.conn]
+		if _, err := io.WriteString(w.conn, st.cmd+"\r\n"); err != nil {
+			t.Fatalf("writing %q: %v", st.cmd, err)
+		}
+		w.reply.Reset()
+		if _, err := proto.ReadValue(w.br, lim); err != nil {
+			t.Fatalf("reading reply to %q: %v", st.cmd, err)
+		}
+		fmt.Fprintf(&out, "C%d: %s\n", st.conn, st.cmd)
+		frame := w.reply.String()
+		if !strings.HasSuffix(frame, "\r\n") {
+			t.Fatalf("reply to %q does not end in CRLF: %q", st.cmd, frame)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(frame, "\r\n"), "\r\n") {
+			fmt.Fprintf(&out, "S%d: %s\n", st.conn, line)
+		}
+	}
+	return out.String()
+}

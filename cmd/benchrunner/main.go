@@ -63,6 +63,15 @@ func main() {
 		serveSpans    = flag.String("spans", "", "serve: record request span trees and write them as JSON to this file")
 		serveBaseline = flag.String("baseline", "", "serve: print a delta of this run against a committed BENCH_serve.json baseline")
 
+		shardMode      = flag.Bool("shard", false, "run the sharded-serving benchmark (single engine vs fingerprint-routed shard cluster, plus exactly-once through a sentinel failover) instead of the paper experiments")
+		shardQueries   = flag.Int("shard-queries", 4000, "shard: submissions per throughput phase")
+		shardShards    = flag.Int("shard-shards", 4, "shard: primary/replica pairs in the sharded phase")
+		shardConc      = flag.Int("shard-concurrency", 16, "shard: closed-loop submitter goroutines")
+		shardCache     = flag.Int("shard-cache", 64, "shard: per-engine plan/estimate cache entries")
+		shardSched     = flag.String("shard-sched", "SWRD", "shard: pool scheduler (HCS|HFS|SWRD)")
+		shardBaseline  = flag.String("shard-baseline", "", "shard: print a delta of this run against a committed BENCH_shard.json baseline")
+		shardScaleGate = flag.Float64("shard-scale-gate", 2.5, "shard: fail when sharded/single throughput scaling falls below this factor derated by min(1, cores/shards) (0 disables)")
+
 		netMode     = flag.Bool("net", false, "run the network-frontend benchmark (real TCP sockets, RESP-style protocol) instead of the paper experiments")
 		netConns    = flag.Int("net-conns", 8, "net: client connections")
 		netQueries  = flag.Int("net-queries", 400, "net: total submissions across all connections")
@@ -118,6 +127,24 @@ func main() {
 			Seed:       *seed,
 		}
 		if err := learnBench(lc, *benchDir, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardMode {
+		sc := shardConfig{
+			Queries:     *shardQueries,
+			Concurrency: *shardConc,
+			Shards:      *shardShards,
+			CacheSize:   *shardCache,
+			Scheduler:   *shardSched,
+			Seed:        *seed,
+			FaultSeed:   *faultSeed,
+			Baseline:    *shardBaseline,
+			ScaleGate:   *shardScaleGate,
+		}
+		if err := shardBench(sc, *benchDir); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

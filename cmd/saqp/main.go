@@ -32,6 +32,16 @@
 //
 //	saqp -train -listen :6380
 //	printf 'SUBMIT SELECT COUNT(*) FROM lineitem\r\n' | nc localhost 6380
+//
+// With -cluster N the process hosts a sharded serving cluster instead:
+// N primary/replica engine pairs, each pair behind its own pair of TCP
+// frontends, with fingerprint-based slot routing (-MOVED redirects, the
+// CLUSTER verb) and a sentinel failover loop driven by a wall-clock
+// heartbeat. A deterministic fault plan crashes primaries so a watcher
+// sees detection, quorum votes, and replica promotion live:
+//
+//	saqp -cluster 3
+//	printf 'CLUSTER\r\n' | nc localhost <printed port>
 package main
 
 import (
@@ -62,6 +72,7 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault plan used with -faults")
 		admin     = flag.String("admin", "", "serve the query through the serving engine and host the live introspection endpoint on this address (host:port) until SIGINT/SIGTERM")
 		listen    = flag.String("listen", "", "host the TCP query frontend on this address (host:port) until SIGINT/SIGTERM; RESP-style SUBMIT/WAIT/STATS/EXPLAIN/METRICS/PING/QUIT, makes -query optional")
+		cluster   = flag.Int("cluster", 0, "host a sharded serving cluster with this many primary/replica shard pairs (TCP frontends on ephemeral ports, sentinel failover on a deterministic fault plan seeded by -fault-seed), makes -query optional")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(),
@@ -72,8 +83,15 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *cluster > 0 {
+		if err := runCluster(*cluster, *sf, *train, *queries, *models, *schedler, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "saqp:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sql == "" && *listen == "" {
-		fmt.Fprintln(os.Stderr, "saqp: -query is required (unless -listen is set)")
+		fmt.Fprintln(os.Stderr, "saqp: -query is required (unless -listen or -cluster is set)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -209,6 +227,84 @@ func trainModels(fw *saqp.Framework, trainQueries int, modelsPath string) error 
 		fmt.Printf("Saved trained models to %s\n", modelsPath)
 	}
 	return nil
+}
+
+// runCluster hosts the sharded serving cluster until SIGINT/SIGTERM:
+// shards primary/replica engine pairs behind TCP frontends, with a
+// wall-clock heartbeat driving the sentinel loop and a deterministic
+// fault plan (seeded by -fault-seed) crashing primaries so failovers
+// actually happen while you watch.
+func runCluster(shards int, sf float64, train bool, trainQueries int, modelsPath, scheduler string, faultSeed uint64) error {
+	fw, err := saqp.NewFramework(saqp.Options{ScaleFactor: sf, Observer: saqp.NewObserver(nil)})
+	if err != nil {
+		return err
+	}
+	if modelsPath != "" {
+		if data, err := os.ReadFile(modelsPath); err == nil {
+			if err := fw.LoadModels(data); err != nil {
+				return fmt.Errorf("loading %s: %w", modelsPath, err)
+			}
+			fmt.Printf("Loaded trained models from %s\n", modelsPath)
+			train = false
+		}
+	}
+	if train {
+		if err := trainModels(fw, trainQueries, modelsPath); err != nil {
+			return err
+		}
+	}
+	// Every primary crashes once inside the first two simulated minutes
+	// and stays down 45 heartbeats — long past the sentinel's detection
+	// window, so each shard demonstrates a full crash → votes → failover
+	// → rejoin cycle.
+	plan := saqp.NewFaultPlan(saqp.FaultSpec{
+		Seed:             faultSeed,
+		Nodes:            shards,
+		HorizonSec:       120,
+		CrashProb:        1,
+		CrashDowntimeSec: 45,
+	})
+	cs, err := fw.NewClusterServer(saqp.ClusterOptions{
+		Shards:       shards,
+		Scheduler:    scheduler,
+		Listen:       true,
+		FaultPlan:    plan,
+		SentinelSeed: faultSeed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Sharded cluster live: %d shards, %d slots\n", shards, cs.Status().Slots)
+	for _, line := range cs.Info() {
+		fmt.Println("  " + line)
+	}
+	fmt.Println("Cluster wire protocol: SUBMIT/EXPLAIN answer -MOVED <slot> <addr> when a query")
+	fmt.Println("belongs to another instance; CLUSTER prints the topology. Ctrl-C to shut down.")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			fmt.Printf("failover event log (%d events):\n%s", len(cs.Events()), cs.EventsJSON())
+			return cs.Close()
+		case <-ticker.C:
+			for _, e := range cs.Tick() {
+				switch e.Kind {
+				case saqp.ClusterEventFailover:
+					fmt.Printf("[tick %d] shard %d FAILOVER: replica promoted by %d votes, epoch %d\n",
+						e.Tick, e.Shard, e.Votes, e.Epoch)
+				case saqp.ClusterEventVote:
+					fmt.Printf("[tick %d] shard %d: sentinel %d votes down\n", e.Tick, e.Shard, e.Sentinel)
+				default:
+					fmt.Printf("[tick %d] shard %d: %s\n", e.Tick, e.Shard, e.Kind)
+				}
+			}
+		}
+	}
 }
 
 // netDrainTimeout bounds the graceful drain after SIGINT/SIGTERM

@@ -1,0 +1,147 @@
+package net
+
+import (
+	"strings"
+	"testing"
+)
+
+// routeByPrefix is a toy Route: queries containing "orders" belong to
+// the other instance at otherAddr (slot 42), everything else is local.
+func routeByPrefix(otherAddr string) func(sql string) (int, string, bool, error) {
+	return func(sql string) (int, string, bool, error) {
+		if strings.Contains(sql, "orders") {
+			return 42, otherAddr, false, nil
+		}
+		return 7, "", true, nil
+	}
+}
+
+func TestServerMovedRedirectAndClusterVerb(t *testing.T) {
+	s, _ := startServer(t, Config{
+		Route: routeByPrefix("127.0.0.1:7999"),
+		ClusterInfo: func() []string {
+			return []string{"cluster_enabled:1", "cluster_shards:2"}
+		},
+		Explain: func(sql string) ([]string, error) { return []string{"plan: " + sql}, nil },
+	})
+	c := dialT(t, s.Addr())
+
+	// Local query executes normally.
+	id, err := c.Submit("SELECT COUNT(*) FROM lineitem", 1)
+	if err != nil || id == "" {
+		t.Fatalf("local SUBMIT = (%q, %v)", id, err)
+	}
+
+	// Misrouted SUBMIT earns -MOVED with the owning instance.
+	_, err = c.Submit("SELECT COUNT(*) FROM orders", 1)
+	me, ok := AsMoved(err)
+	if !ok {
+		t.Fatalf("misrouted SUBMIT error = %v, want MovedError", err)
+	}
+	if me.Slot != 42 || me.Addr != "127.0.0.1:7999" {
+		t.Fatalf("MovedError = %+v, want slot 42 addr 127.0.0.1:7999", me)
+	}
+
+	// EXPLAIN is gated by the same route.
+	if _, err := c.Explain("SELECT COUNT(*) FROM orders"); err == nil {
+		t.Fatal("misrouted EXPLAIN succeeded, want MOVED")
+	} else if _, ok := AsMoved(err); !ok {
+		t.Fatalf("misrouted EXPLAIN error = %v, want MovedError", err)
+	}
+	lines, err := c.Explain("SELECT COUNT(*) FROM lineitem")
+	if err != nil || len(lines) != 1 {
+		t.Fatalf("local EXPLAIN = (%v, %v)", lines, err)
+	}
+
+	// CLUSTER returns the configured topology lines.
+	info, err := c.Cluster()
+	if err != nil {
+		t.Fatalf("CLUSTER: %v", err)
+	}
+	if len(info) != 2 || info[0] != "cluster_enabled:1" {
+		t.Fatalf("CLUSTER = %v", info)
+	}
+}
+
+func TestClusterVerbUnsupportedWithoutHook(t *testing.T) {
+	s, _ := startServer(t, Config{})
+	c := dialT(t, s.Addr())
+	if _, err := c.Cluster(); err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("CLUSTER without hook = %v, want not-supported error", err)
+	}
+}
+
+func TestClusterClientFollowsMovedRedirects(t *testing.T) {
+	// Two instances: s0 owns lineitem queries, s1 owns orders queries.
+	// Addresses are only known after listen, so route through a mutable
+	// cell.
+	var addr0, addr1 string
+	s0, _ := startServer(t, Config{Route: func(sql string) (int, string, bool, error) {
+		if strings.Contains(sql, "orders") {
+			return 42, addr1, false, nil
+		}
+		return 7, addr0, true, nil
+	}})
+	s1, b1 := startServer(t, Config{Route: func(sql string) (int, string, bool, error) {
+		if strings.Contains(sql, "orders") {
+			return 42, addr1, true, nil
+		}
+		return 7, addr0, false, nil
+	}})
+	addr0, addr1 = s0.Addr(), s1.Addr()
+
+	cc, err := DialCluster(ClusterClientConfig{Seeds: []string{addr0}})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cc.Close()
+
+	// First submission of an orders query hits s0, gets MOVED, and
+	// lands on s1.
+	tk, err := cc.Submit("SELECT COUNT(*) FROM orders", 3)
+	if err != nil {
+		t.Fatalf("Submit via redirect: %v", err)
+	}
+	if tk.Addr != addr1 {
+		t.Fatalf("ticket admitted at %s, want %s", tk.Addr, addr1)
+	}
+	res, err := cc.Wait(tk)
+	if err != nil || res.ID != tk.ID {
+		t.Fatalf("Wait = (%+v, %v)", res, err)
+	}
+
+	// The affinity map sends the repeat straight to s1.
+	if _, err := cc.Submit("SELECT COUNT(*) FROM orders", 4); err != nil {
+		t.Fatalf("repeat Submit: %v", err)
+	}
+	b1.mu.Lock()
+	n := b1.next
+	b1.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("owning instance saw %d submissions, want 2", n)
+	}
+
+	// Local queries never leave the seed.
+	if tk, err := cc.Submit("SELECT COUNT(*) FROM lineitem", 5); err != nil || tk.Addr != addr0 {
+		t.Fatalf("local Submit = (%+v, %v), want admission at %s", tk, err, addr0)
+	}
+}
+
+func TestClusterClientRedirectLoopBounded(t *testing.T) {
+	// An instance that always redirects to itself must trip the hop
+	// limit rather than spin.
+	var addr string
+	s, _ := startServer(t, Config{Route: func(sql string) (int, string, bool, error) {
+		return 1, addr, false, nil
+	}})
+	addr = s.Addr()
+	cc, err := DialCluster(ClusterClientConfig{Seeds: []string{addr}, MaxRedirects: 2})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cc.Close()
+	if _, err := cc.Submit("SELECT COUNT(*) FROM lineitem", 1); err == nil ||
+		!strings.Contains(err.Error(), "redirect limit") {
+		t.Fatalf("redirect loop error = %v, want redirect limit exceeded", err)
+	}
+}

@@ -1,0 +1,227 @@
+package net
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"saqp/internal/serve"
+)
+
+// DefaultMaxRedirects bounds how many -MOVED hops one cluster command
+// follows before giving up.
+const DefaultMaxRedirects = 3
+
+// ClusterClientConfig configures a redirect-following cluster client.
+type ClusterClientConfig struct {
+	// Seeds are the instance addresses to bootstrap from; the first
+	// reachable seed answers un-keyed commands and first-contact
+	// submissions. Required.
+	Seeds []string
+	// Resolve maps an advertised address (as it appears in -MOVED
+	// redirects and CLUSTER output) to the address to actually dial.
+	// Nil means dial advertised addresses verbatim; tests use it to pin
+	// stable advertised names onto ephemeral listen ports.
+	Resolve func(addr string) string
+	// MaxRedirects bounds the -MOVED hops per command. Default
+	// DefaultMaxRedirects.
+	MaxRedirects int
+}
+
+// ClusterTicket names one accepted submission and the instance that
+// admitted it — WAIT must go back to the admitting connection.
+type ClusterTicket struct {
+	// Addr is the advertised address of the admitting instance.
+	Addr string
+	// ID is the shard-qualified submission id.
+	ID string
+}
+
+// ClusterClient is a cluster-aware wire client: it pools one
+// connection per instance, follows -MOVED redirects, and remembers
+// each query's owning instance so repeat submissions go straight to
+// the right shard. Safe for concurrent use; each underlying connection
+// serializes its own exchanges.
+type ClusterClient struct {
+	cfg ClusterClientConfig
+
+	mu       sync.Mutex
+	conns    map[string]*Client
+	affinity map[string]string
+}
+
+// DialCluster validates cfg and connects to the first reachable seed.
+func DialCluster(cfg ClusterClientConfig) (*ClusterClient, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("net: ClusterClientConfig.Seeds is required")
+	}
+	if cfg.MaxRedirects <= 0 {
+		cfg.MaxRedirects = DefaultMaxRedirects
+	}
+	cc := &ClusterClient{
+		cfg:      cfg,
+		conns:    make(map[string]*Client),
+		affinity: make(map[string]string),
+	}
+	var err error
+	for _, seed := range cfg.Seeds {
+		if _, err = cc.conn(seed); err == nil {
+			return cc, nil
+		}
+	}
+	return nil, err
+}
+
+// conn returns the pooled connection for an advertised address,
+// dialing (through Resolve) on first use.
+func (cc *ClusterClient) conn(addr string) (*Client, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.conns[addr]; ok {
+		return c, nil
+	}
+	dial := addr
+	if cc.cfg.Resolve != nil {
+		dial = cc.cfg.Resolve(addr)
+	}
+	c, err := Dial(dial)
+	if err != nil {
+		return nil, err
+	}
+	cc.conns[addr] = c
+	return c, nil
+}
+
+// dropConn evicts a broken pooled connection so the next use redials.
+func (cc *ClusterClient) dropConn(addr string) {
+	cc.mu.Lock()
+	c := cc.conns[addr]
+	delete(cc.conns, addr)
+	cc.mu.Unlock()
+	if c != nil {
+		_ = c.Close() //lint:allow saqpvet/errdrop the connection is already being discarded as broken
+	}
+}
+
+// target picks where a keyed command should go first: the query's last
+// known owner, else the first seed.
+func (cc *ClusterClient) target(sql string) string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if addr, ok := cc.affinity[sql]; ok {
+		return addr
+	}
+	return cc.cfg.Seeds[0]
+}
+
+// remember records a query's owning instance.
+func (cc *ClusterClient) remember(sql, addr string) {
+	cc.mu.Lock()
+	cc.affinity[sql] = addr
+	cc.mu.Unlock()
+}
+
+// keyed runs one query-keyed exchange, following -MOVED redirects up
+// to the configured hop limit and updating the affinity map as it
+// learns.
+func (cc *ClusterClient) keyed(sql string, do func(c *Client) error) (string, error) {
+	addr := cc.target(sql)
+	var err error
+	for hop := 0; hop <= cc.cfg.MaxRedirects; hop++ {
+		var c *Client
+		c, err = cc.conn(addr)
+		if err != nil {
+			return "", err
+		}
+		err = do(c)
+		if err == nil {
+			cc.remember(sql, addr)
+			return addr, nil
+		}
+		if me, ok := AsMoved(err); ok {
+			cc.remember(sql, me.Addr)
+			addr = me.Addr
+			continue
+		}
+		return "", err
+	}
+	return "", errors.New("net: redirect limit exceeded: " + err.Error())
+}
+
+// Submit admits one query on its owning shard, following redirects.
+func (cc *ClusterClient) Submit(sql string, seed uint64) (ClusterTicket, error) {
+	var id string
+	addr, err := cc.keyed(sql, func(c *Client) error {
+		var err error
+		id, err = c.Submit(sql, seed)
+		return err
+	})
+	if err != nil {
+		return ClusterTicket{}, err
+	}
+	return ClusterTicket{Addr: addr, ID: id}, nil
+}
+
+// Wait blocks until the ticket's submission completes, on the
+// connection that admitted it.
+func (cc *ClusterClient) Wait(t ClusterTicket) (serve.Result, error) {
+	c, err := cc.conn(t.Addr)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	return c.Wait(t.ID)
+}
+
+// Explain returns the owning shard's compiled plan description,
+// following redirects — the shard attribution line reflects the
+// instance that would execute the query.
+func (cc *ClusterClient) Explain(sql string) ([]string, error) {
+	var lines []string
+	_, err := cc.keyed(sql, func(c *Client) error {
+		var err error
+		lines, err = c.Explain(sql)
+		return err
+	})
+	return lines, err
+}
+
+// Cluster returns the topology snapshot from the first reachable
+// instance.
+func (cc *ClusterClient) Cluster() ([]string, error) {
+	var err error
+	for _, seed := range cc.cfg.Seeds {
+		var c *Client
+		c, err = cc.conn(seed)
+		if err != nil {
+			continue
+		}
+		var lines []string
+		lines, err = c.Cluster()
+		if err == nil {
+			return lines, nil
+		}
+		cc.dropConn(seed)
+	}
+	return nil, err
+}
+
+// Close tears down every pooled connection, in address order.
+func (cc *ClusterClient) Close() error {
+	cc.mu.Lock()
+	addrs := make([]string, 0, len(cc.conns))
+	for a := range cc.conns {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	conns := make([]*Client, 0, len(addrs))
+	for _, a := range addrs {
+		conns = append(conns, cc.conns[a])
+	}
+	cc.conns = make(map[string]*Client)
+	cc.mu.Unlock()
+	var err error
+	for _, c := range conns {
+		err = errors.Join(err, c.Close())
+	}
+	return err
+}

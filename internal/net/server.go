@@ -76,6 +76,15 @@ type Config struct {
 	// MetricsText, when set, serves the METRICS command with a textual
 	// metrics dump.
 	MetricsText func() ([]byte, error)
+	// Route, when set, marks this server as one instance of a sharded
+	// cluster: it resolves a query's hash slot and the advertised
+	// address of the instance that owns it. When local is false, SUBMIT
+	// and EXPLAIN answer `-MOVED <slot> <addr>` instead of executing, so
+	// clients re-route and retry — the Redis Cluster redirect contract.
+	Route func(sql string) (slot int, addr string, local bool, err error)
+	// ClusterInfo, when set, serves the CLUSTER command with the
+	// coordinator's line-oriented topology snapshot.
+	ClusterInfo func() []string
 	// Observer records connection and command metrics; nil disables.
 	Observer *obs.Observer
 }
@@ -355,6 +364,8 @@ func (s *Server) dispatch(ctx context.Context, enc *proto.Encoder, pending map[s
 		s.cmdExplain(enc, args)
 	case "METRICS":
 		s.cmdMetrics(enc)
+	case "CLUSTER":
+		s.cmdCluster(enc)
 	default:
 		s.ob.NetUnknownCommand()
 		enc.Error("ERR", "unknown command '"+proto.Sanitize(verb)+"'")
@@ -377,6 +388,9 @@ func (s *Server) cmdSubmit(ctx context.Context, enc *proto.Encoder, pending map[
 			enc.Error("ERR", "bad seed '"+proto.Sanitize(string(args[2]))+"'")
 			return
 		}
+	}
+	if !s.routeLocal(enc, string(args[1])) {
+		return
 	}
 	if len(pending) >= s.cfg.MaxPending {
 		s.ob.NetBusy()
@@ -434,6 +448,9 @@ func (s *Server) cmdExplain(enc *proto.Encoder, args [][]byte) {
 		enc.Error("ERR", "EXPLAIN requires a query")
 		return
 	}
+	if !s.routeLocal(enc, string(args[1])) {
+		return
+	}
 	lines, err := s.cfg.Explain(string(args[1]))
 	if err != nil {
 		enc.Error("ERR", proto.Sanitize(err.Error()))
@@ -457,6 +474,41 @@ func (s *Server) cmdMetrics(enc *proto.Encoder) {
 		return
 	}
 	lines := strings.Split(strings.TrimRight(string(text), "\n"), "\n")
+	enc.Array(len(lines))
+	for _, l := range lines {
+		enc.BulkString(l)
+	}
+}
+
+// routeLocal applies the cluster routing gate to a query-bearing
+// command: true means this instance owns the query (or the server is
+// not clustered) and the command should execute here. Otherwise the
+// MOVED redirect (or routing error) has already been encoded.
+func (s *Server) routeLocal(enc *proto.Encoder, sql string) bool {
+	if s.cfg.Route == nil {
+		return true
+	}
+	slot, addr, local, err := s.cfg.Route(sql)
+	if err != nil {
+		enc.Error("ERR", proto.Sanitize(err.Error()))
+		return false
+	}
+	if local {
+		return true
+	}
+	s.ob.ShardMoved()
+	enc.Error("MOVED", strconv.Itoa(slot)+" "+addr)
+	return false
+}
+
+// cmdCluster serves the coordinator's topology snapshot, one bulk
+// frame per line.
+func (s *Server) cmdCluster(enc *proto.Encoder) {
+	if s.cfg.ClusterInfo == nil {
+		enc.Error("ERR", "CLUSTER not supported by this server")
+		return
+	}
+	lines := s.cfg.ClusterInfo()
 	enc.Array(len(lines))
 	for _, l := range lines {
 		enc.BulkString(l)

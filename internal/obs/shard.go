@@ -1,0 +1,93 @@
+package obs
+
+// Sharded-serving instrumentation: the cluster coordinator and its
+// sentinel health loop (internal/shardserve) report slot routing,
+// crash actuations, heartbeat misses, quorum votes, failovers, and
+// model-replication lag here; the cluster-aware TCP frontends report
+// MOVED redirects. Everything is counters and gauges — the failover
+// causality itself lives in the coordinator's deterministic event log,
+// which is byte-identical per seed and therefore never belongs in a
+// wall-clock-free metrics registry twice.
+
+// Shard metric names.
+const (
+	MShardSubmissions     = "saqp_shard_submissions_total"
+	MShardFailoverWaits   = "saqp_shard_failover_waits_total"
+	MShardMovedRedirects  = "saqp_shard_moved_redirects_total"
+	MShardCrashes         = "saqp_shard_crashes_total"
+	MShardRejoins         = "saqp_shard_rejoins_total"
+	MShardHeartbeatMisses = "saqp_shard_heartbeat_misses_total"
+	MShardDownVotes       = "saqp_shard_down_votes_total"
+	MShardFailovers       = "saqp_shard_failovers_total"
+	MShardAlivePrimaries  = "saqp_shard_alive_primaries"
+	MShardEpoch           = "saqp_shard_epoch"
+	MShardLeaderVersion   = "saqp_shard_model_leader_version"
+	MShardModelLagMax     = "saqp_shard_model_lag_max"
+	MLearnReplicaSyncs    = "saqp_learn_replica_syncs_total"
+)
+
+// ShardSubmitted counts one submission routed through the coordinator.
+func (o *Observer) ShardSubmitted() { o.counter(MShardSubmissions) }
+
+// ShardFailoverWait counts one submission that found its shard down and
+// blocked for a promotion before completing.
+func (o *Observer) ShardFailoverWait() { o.counter(MShardFailoverWaits) }
+
+// ShardMoved counts one -MOVED redirect served by a cluster-aware
+// frontend to a client that addressed the wrong shard.
+func (o *Observer) ShardMoved() { o.counter(MShardMovedRedirects) }
+
+// ShardCrash records one crash actuation and the resulting count of
+// alive primaries.
+func (o *Observer) ShardCrash(alivePrimaries int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MShardCrashes).Inc()
+	o.Metrics.Gauge(MShardAlivePrimaries).Set(float64(alivePrimaries))
+}
+
+// ShardRejoin records one crashed instance rejoining as a standby and
+// the resulting count of alive primaries.
+func (o *Observer) ShardRejoin(alivePrimaries int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MShardRejoins).Inc()
+	o.Metrics.Gauge(MShardAlivePrimaries).Set(float64(alivePrimaries))
+}
+
+// ShardHeartbeatMiss counts one sentinel heartbeat sample that found a
+// shard's active instance unresponsive.
+func (o *Observer) ShardHeartbeatMiss() { o.counter(MShardHeartbeatMisses) }
+
+// ShardVote counts one sentinel crossing its miss threshold and voting
+// a shard objectively down.
+func (o *Observer) ShardVote() { o.counter(MShardDownVotes) }
+
+// ShardFailover records one quorum failover and the new cluster epoch.
+func (o *Observer) ShardFailover(epoch int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MShardFailovers).Inc()
+	o.Metrics.Gauge(MShardEpoch).Set(float64(epoch))
+}
+
+// ShardModelSync records one model fan-out pass: the coordinator
+// registry's champion version and the worst replica lag behind it.
+func (o *Observer) ShardModelSync(leaderVersion, maxLag int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge(MShardLeaderVersion).Set(float64(leaderVersion))
+	o.Metrics.Gauge(MShardModelLagMax).Set(float64(maxLag))
+}
+
+// LearnReplicaSynced counts one replica pulling a new champion version.
+func (o *Observer) LearnReplicaSynced(version int) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MLearnReplicaSyncs).Inc()
+}

@@ -60,11 +60,14 @@ type Config struct {
 	MaxRetries int
 	// Learner, when set, closes the observe→learn→predict loop: admission
 	// scoring (WRD ranking, predicted seconds), per-task predictions and
-	// drift accounting come from the registry's current champion models —
-	// falling back to the static TaskModel/JobModel while the registry is
+	// drift accounting come from the source's current champion models —
+	// falling back to the static TaskModel/JobModel while the source is
 	// cold — and every cleanly completed (unfaulted) query's observed job
-	// and task times are fed back as challenger training samples.
-	Learner *learn.Registry
+	// and task times are fed back as challenger training samples. A
+	// *learn.Registry learns locally; a *learn.Replica serves a sharded
+	// coordinator's champion and forwards feedback upstream. Callers must
+	// leave this nil (not a typed-nil pointer) to disable learning.
+	Learner learn.Source
 	// Scheduler is the slot policy each pool simulator runs (required).
 	// The policies in internal/sched are stateless values, safe to
 	// share across the pool.
@@ -202,6 +205,37 @@ type Stats struct {
 	SLOSlowBurn float64
 	SLOFiring   bool
 	SLOAlerts   int
+}
+
+// Add folds another engine's snapshot into s — the per-shard
+// aggregation a cluster coordinator reports. Counters and occupancy
+// gauges sum; the SLO burn-rate fields take the worst (highest-burn)
+// engine's view, and the alert fires if any engine's does.
+func (s *Stats) Add(o Stats) {
+	s.Submitted += o.Submitted
+	s.Completed += o.Completed
+	s.Canceled += o.Canceled
+	s.Rejected += o.Rejected
+	s.Errors += o.Errors
+	s.Retries += o.Retries
+	s.FaultFailures += o.FaultFailures
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvictions += o.CacheEvictions
+	s.CacheEntries += o.CacheEntries
+	s.QueueDepth += o.QueueDepth
+	s.Inflight += o.Inflight
+	s.Workers += o.Workers
+	s.SpansStarted += o.SpansStarted
+	s.SpansFinished += o.SpansFinished
+	if o.SLOFastBurn > s.SLOFastBurn {
+		s.SLOFastBurn = o.SLOFastBurn
+	}
+	if o.SLOSlowBurn > s.SLOSlowBurn {
+		s.SLOSlowBurn = o.SLOSlowBurn
+	}
+	s.SLOFiring = s.SLOFiring || o.SLOFiring
+	s.SLOAlerts += o.SLOAlerts
 }
 
 // HitRate returns the cache hit fraction, 0 when no lookups happened.
@@ -575,11 +609,11 @@ func (e *Engine) run(t *Ticket) {
 const learnTasksPerGroup = 8
 
 // feedback feeds one cleanly completed query's observed job and task
-// times into the online-learning registry. Group walking mirrors
+// times into the online-learning source. Group walking mirrors
 // cluster.BuildQuery's task construction order exactly — including the
 // single synthesized group when an estimate carries none — so each
 // group's features align with the tasks it produced.
-func feedback(l *learn.Registry, est *selectivity.QueryEstimate, cq *cluster.Query) {
+func feedback(l learn.Source, est *selectivity.QueryEstimate, cq *cluster.Query) {
 	for ji, je := range est.Jobs {
 		sj := cq.Jobs[ji]
 		if sec := sj.DoneTime - sj.SubmitTime; sec > 0 {

@@ -1,0 +1,56 @@
+package shardserve
+
+// DefaultSlots is the default size of the hash-slot space. Small
+// enough to print, large enough that four shards get sixteen slots
+// each; the slot count is a routing granularity, not a shard limit.
+const DefaultSlots = 64
+
+// Fingerprint hashes a normalized query plus the catalog fingerprint
+// with FNV-64a — the same identity the serving engine's plan cache
+// keys on (norm + NUL + catalog), so two queries that share a cache
+// entry always route to the same shard and routing never splits a
+// shard's working set.
+func Fingerprint(normSQL, catalogFP string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(normSQL); i++ {
+		h = (h ^ uint64(normSQL[i])) * prime64
+	}
+	h = (h ^ 0) * prime64 // NUL separator, mirroring the cache key
+	for i := 0; i < len(catalogFP); i++ {
+		h = (h ^ uint64(catalogFP[i])) * prime64
+	}
+	return h
+}
+
+// SlotOf maps a fingerprint onto the slot space.
+func SlotOf(fp uint64, slots int) int {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	return int(fp % uint64(slots))
+}
+
+// OwnerOf maps a slot to its owning shard: contiguous ranges, with the
+// remainder slots spread one-per-shard from the front (the classic
+// s*shards/slots partition).
+func OwnerOf(slot, slots, shards int) int {
+	if slots <= 0 || shards <= 0 {
+		return 0
+	}
+	return slot * shards / slots
+}
+
+// SlotRange returns the inclusive [lo, hi] slot range shard owns under
+// OwnerOf's partition.
+func SlotRange(shard, slots, shards int) (lo, hi int) {
+	if slots <= 0 || shards <= 0 {
+		return 0, 0
+	}
+	lo = (shard*slots + shards - 1) / shards
+	hi = ((shard+1)*slots+shards-1)/shards - 1
+	return lo, hi
+}

@@ -139,14 +139,13 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 	if ob == nil && opts.AdminAddr != "" {
 		ob = obs.New(nil)
 	}
-	eng, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Schemas:            f.Schemas,
 		Estimator:          f.Estimator,
 		CatalogFingerprint: f.Catalog.Fingerprint(),
 		TaskModel:          f.TaskTime,
 		JobModel:           f.JobTime,
 		Cluster:            opts.Cluster,
-		Learner:            lr,
 		Scheduler:          pol,
 		Workers:            opts.Workers,
 		MaxRetries:         opts.MaxRetries,
@@ -155,7 +154,13 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 		Observer:           ob,
 		Spans:              spans,
 		SLO:                slo,
-	})
+	}
+	// Config.Learner is an interface; assigning a nil *Learner directly
+	// would produce a typed non-nil interface and turn learning "on".
+	if lr != nil {
+		cfg.Learner = lr
+	}
+	eng, err := serve.New(cfg)
 	if err != nil {
 		return nil, err
 	}
