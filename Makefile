@@ -2,7 +2,7 @@ GO      ?= go
 BIN     := bin
 SAQPVET := $(BIN)/saqpvet
 
-.PHONY: all build test race lint lint-self bench-alloc fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn bench-net bench-shard ci clean
+.PHONY: all build test race lint lint-self bench-alloc fuzz-smoke stress cover-serve bench bench-serve bench-fault bench-learn bench-net bench-shard bench-micro bench-micro-rebase ci clean
 
 all: build
 
@@ -34,7 +34,7 @@ bench-alloc:
 	$(GO) test -count=1 -run TestHotPathAllocs \
 		./internal/mapreduce ./internal/selectivity ./internal/histogram \
 		./internal/dataset ./internal/predict ./internal/serve ./internal/obs \
-		./internal/net/proto
+		./internal/net/proto ./internal/sketch
 
 test:
 	$(GO) test ./...
@@ -140,6 +140,38 @@ bench-shard:
 		-shard-baseline testdata/bench_baseline/BENCH_shard.json \
 		-shard-scale-gate $(SHARD_SCALE_GATE)
 
+# Microbenchmarks + sketch-accuracy gate: benchstat-comparable
+# BenchmarkMicro* families (sketch ops, estimator, engine
+# map/shuffle/reduce, serve-cache lookup) with -benchmem, parsed and
+# gated by cmd/benchrunner -micro against the committed baseline in
+# testdata/bench_baseline/BENCH_micro.json — allocs/op may never
+# regress; ns/op may drift up to MICRO_TIME_GATE x (machine variance).
+# The same run replays the accuracy contracts on TPC-H: every HLL
+# distinct estimate within 5% of the exact catalog, and Bloom semi-join
+# pruning byte-identical to the unpruned engine (zero false negatives).
+# Writes bench-out/BENCH_micro.{txt,json}; the raw text is
+# benchstat-ready for manual before/after comparisons.
+MICRO_PKGS      := ./internal/sketch ./internal/selectivity ./internal/mapreduce ./internal/serve
+MICRO_TIME_GATE ?= 4.0
+bench-micro:
+	@mkdir -p bench-out
+	$(GO) test -run '^$$' -bench '^BenchmarkMicro' -benchmem -count 1 \
+		$(MICRO_PKGS) | tee bench-out/BENCH_micro.txt
+	$(GO) run ./cmd/benchrunner -micro -micro-in bench-out/BENCH_micro.txt \
+		-bench-out bench-out \
+		-micro-baseline testdata/bench_baseline/BENCH_micro.json \
+		-micro-time-gate $(MICRO_TIME_GATE)
+
+# Rebase the committed microbenchmark baseline from a fresh run on this
+# machine (review the diff before committing).
+bench-micro-rebase:
+	@mkdir -p bench-out
+	$(GO) test -run '^$$' -bench '^BenchmarkMicro' -benchmem -count 1 \
+		$(MICRO_PKGS) | tee bench-out/BENCH_micro.txt
+	$(GO) run ./cmd/benchrunner -micro -micro-in bench-out/BENCH_micro.txt \
+		-bench-out bench-out \
+		-micro-baseline testdata/bench_baseline/BENCH_micro.json -micro-rebase
+
 # Regenerate the paper's tables and figures with full observability:
 # machine-readable BENCH_<exp>.json per experiment, a Perfetto-loadable
 # trace of the simulated runs (gzipped; Perfetto opens .json.gz
@@ -153,7 +185,7 @@ bench:
 	gzip -f -9 bench-out/runs.trace.json
 
 # Everything CI runs, in the same order.
-ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-fault bench-learn bench-net bench-shard
+ci: build lint lint-self test bench-alloc race fuzz-smoke stress cover-serve bench-micro bench-fault bench-learn bench-net bench-shard
 
 clean:
 	rm -rf $(BIN) bench-out obs-out lint-out

@@ -210,7 +210,7 @@ func (f *Framework) NewClusterServer(opts ClusterOptions) (*ClusterServer, error
 			eng, err := serve.New(serve.Config{
 				Schemas:            f.Schemas,
 				Estimator:          f.Estimator,
-				CatalogFingerprint: f.Catalog.Fingerprint(),
+				CatalogFingerprint: f.statsFingerprint(),
 				TaskModel:          f.TaskTime,
 				JobModel:           f.JobTime,
 				Cluster:            opts.Cluster,
@@ -234,7 +234,7 @@ func (f *Framework) NewClusterServer(opts ClusterOptions) (*ClusterServer, error
 	cluster, err := shardserve.NewCluster(shardserve.Config{
 		Shards:             specs,
 		Slots:              opts.Slots,
-		CatalogFingerprint: f.Catalog.Fingerprint(),
+		CatalogFingerprint: f.statsFingerprint(),
 		Registry:           registry,
 		Observer:           f.Obs,
 		Sentinel: shardserve.SentinelConfig{

@@ -72,6 +72,14 @@ func main() {
 		shardBaseline  = flag.String("shard-baseline", "", "shard: print a delta of this run against a committed BENCH_shard.json baseline")
 		shardScaleGate = flag.Float64("shard-scale-gate", 2.5, "shard: fail when sharded/single throughput scaling falls below this factor derated by min(1, cores/shards) (0 disables)")
 
+		microMode     = flag.Bool("micro", false, "run the microbenchmark + sketch-accuracy gate instead of the paper experiments")
+		microIn       = flag.String("micro-in", "", "micro: parse this `go test -bench` text output (\"\" skips the benchmark gate)")
+		microBaseline = flag.String("micro-baseline", "", "micro: gate this run against a committed BENCH_micro.json baseline")
+		microRebase   = flag.Bool("micro-rebase", false, "micro: rewrite -micro-baseline from this run instead of gating")
+		microTimeGate = flag.Float64("micro-time-gate", 4.0, "micro: fail when ns/op exceeds the baseline times this factor (0 disables; allocs/op always gates hard)")
+		microHLLGate  = flag.Float64("micro-hll-gate", 0.05, "micro: fail when an HLL distinct estimate misses exact by more than this relative error (0 disables)")
+		microSF       = flag.Float64("micro-sf", 0.01, "micro: TPC-H scale factor for the accuracy replay")
+
 		netMode     = flag.Bool("net", false, "run the network-frontend benchmark (real TCP sockets, RESP-style protocol) instead of the paper experiments")
 		netConns    = flag.Int("net-conns", 8, "net: client connections")
 		netQueries  = flag.Int("net-queries", 400, "net: total submissions across all connections")
@@ -145,6 +153,22 @@ func main() {
 			ScaleGate:   *shardScaleGate,
 		}
 		if err := shardBench(sc, *benchDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *microMode {
+		mc := microConfig{
+			Input:    *microIn,
+			Baseline: *microBaseline,
+			Rebase:   *microRebase,
+			TimeGate: *microTimeGate,
+			HLLGate:  *microHLLGate,
+			Seed:     *seed,
+			SF:       *microSF,
+		}
+		if err := runMicroBench(mc, *benchDir); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

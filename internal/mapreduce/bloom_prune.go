@@ -1,0 +1,91 @@
+package mapreduce
+
+import (
+	"strconv"
+
+	"saqp/internal/dataset"
+	"saqp/internal/sketch"
+)
+
+// Bloom semi-join pruning: before a shuffle join moves both filtered
+// sides to the reducers, the engine builds a Bloom filter over the
+// smaller side's join keys and probes every row of the larger side,
+// dropping rows whose key is definitely absent. A dropped row can join
+// nothing (the filter has no false negatives, provided hashRowKey and
+// the build-side insert hash the same identity), so the join output is
+// byte-identical with pruning on or off — only the shuffle volume
+// changes. False positives merely travel to a reducer and match nothing
+// there, exactly as they would without the filter.
+
+// hashRowKey hashes a value's join identity. The engine joins on
+// Value.Key() string equality, so this must equal
+// sketch.Hash64String(v.Key()) for every kind — that identity is what
+// makes pruning false-negative-free — while formatting into stack
+// buffers instead of materialising the key string.
+//
+//saqp:hotpath
+func hashRowKey(v dataset.Value) uint64 {
+	switch v.K {
+	case dataset.KindInt, dataset.KindDate:
+		var buf [20]byte // len("-9223372036854775808")
+		return sketch.Hash64(strconv.AppendInt(buf[:0], v.I, 10))
+	case dataset.KindFloat:
+		var buf [32]byte // 'g' shortest round-trip float64 fits well inside
+		return sketch.Hash64(strconv.AppendFloat(buf[:0], v.F, 'g', -1, 64))
+	}
+	return sketch.Hash64String(v.S)
+}
+
+// bloomKeep is the per-row probe kernel of the pruned shuffle path.
+//
+//saqp:hotpath
+func bloomKeep(f *sketch.Bloom, v dataset.Value) bool {
+	return f.ContainsHash(hashRowKey(v))
+}
+
+// buildJoinBloom sizes a filter for the build side's filtered rows and
+// inserts every join key.
+func (e *Engine) buildJoinBloom(parts [][]dataset.Row, ki int) *sketch.Bloom {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	fp := e.cfg.BloomFPRate
+	if fp <= 0 || fp >= 1 {
+		fp = sketch.DefaultBloomFPRate
+	}
+	f := sketch.NewBloom(n, fp)
+	for _, p := range parts {
+		for _, row := range p {
+			f.AddHash(hashRowKey(row[ki]))
+		}
+	}
+	return f
+}
+
+// bloomPruneProbe drops probe-side rows whose join key is definitely
+// not on the build side, compacting each split in place (the kept
+// prefix reuses the split's own backing array, so the probe loop
+// allocates nothing). It returns the pruned byte volume and updates the
+// job's probe/prune counters.
+func (e *Engine) bloomPruneProbe(f *sketch.Bloom, parts [][]dataset.Row, ki int, stats *JobStats) int64 {
+	var prunedBytes int64
+	var probed, pruned int64
+	for si, p := range parts {
+		kept := p[:0]
+		for _, row := range p {
+			probed++
+			if bloomKeep(f, row[ki]) {
+				kept = append(kept, row)
+			} else {
+				pruned++
+				prunedBytes += int64(row.Width())
+			}
+		}
+		parts[si] = kept
+	}
+	stats.BloomProbed += probed
+	stats.BloomPruned += pruned
+	e.cfg.Observer.BloomPruneOutcome(probed, pruned)
+	return prunedBytes
+}

@@ -5,11 +5,13 @@ import (
 
 	"saqp/internal/dataset"
 	"saqp/internal/query"
+	"saqp/internal/sketch"
 )
 
 // Sinks defeat dead-code elimination inside AllocsPerRun closures.
 var (
 	hotSinkBool bool
+	hotSinkU64  uint64
 )
 
 // TestHotPathAllocs is the runtime half of the //saqp:hotpath contract:
@@ -24,6 +26,9 @@ func TestHotPathAllocs(t *testing.T) {
 	inPred := query.Predicate{Op: query.OpIN, Set: []query.Literal{query.NumLit(1), query.NumLit(3.5)}}
 	a, b := newAggState(query.AggSum), newAggState(query.AggSum)
 	b.add(2)
+	bloom := sketch.NewBloom(10_000, sketch.DefaultBloomFPRate)
+	bloom.AddHash(hashRowKey(dataset.Int(7)))
+	intVal, floatVal, dateVal := dataset.Int(424242), dataset.Float(-3.25), dataset.Date(10957)
 	cases := []struct {
 		name string
 		fn   func()
@@ -36,6 +41,11 @@ func TestHotPathAllocs(t *testing.T) {
 		{"aggState.add", func() { a.add(1.5) }},
 		{"aggState.addCount", func() { a.addCount(2) }},
 		{"aggState.merge", func() { a.merge(b) }},
+		{"hashRowKey/int", func() { hotSinkU64 = hashRowKey(intVal) }},
+		{"hashRowKey/float", func() { hotSinkU64 = hashRowKey(floatVal) }},
+		{"hashRowKey/date", func() { hotSinkU64 = hashRowKey(dateVal) }},
+		{"hashRowKey/string", func() { hotSinkU64 = hashRowKey(strRow) }},
+		{"bloomKeep", func() { hotSinkBool = bloomKeep(bloom, intVal) }},
 	}
 	for _, c := range cases {
 		if n := testing.AllocsPerRun(100, c.fn); n != 0 {

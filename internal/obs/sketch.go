@@ -1,0 +1,29 @@
+package obs
+
+// Sketch-tier instrumentation: the probabilistic statistics tier
+// (internal/sketch and its consumers) reports here — how many plan
+// estimates were priced from sketch statistics, and how the engine's
+// Bloom semi-join pruning performed (rows probed vs rows dropped before
+// the shuffle). All values are counts, deterministic for a fixed seed
+// and workload.
+
+// Sketch metric names.
+const (
+	MSketchEstimates   = "saqp_sketch_estimates_total"
+	MSketchBloomProbes = "saqp_sketch_bloom_probes_total"
+	MSketchBloomPruned = "saqp_sketch_bloom_pruned_total"
+)
+
+// SketchEstimate counts one query estimate priced from the sketch
+// statistics tier.
+func (o *Observer) SketchEstimate() { o.counter(MSketchEstimates) }
+
+// BloomPruneOutcome records one pruned shuffle side: probed rows entered
+// the Bloom probe, pruned of them were dropped before the shuffle.
+func (o *Observer) BloomPruneOutcome(probed, pruned int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(MSketchBloomProbes).Add(float64(probed))
+	o.Metrics.Counter(MSketchBloomPruned).Add(float64(pruned))
+}

@@ -10,6 +10,21 @@ import (
 	"saqp/internal/plan"
 )
 
+// StatsTier selects which statistics source the estimator prices plans
+// from.
+type StatsTier string
+
+const (
+	// StatsExact prices plans from the catalog's exact per-column
+	// statistics (distinct maps, full frequency counts).
+	StatsExact StatsTier = "exact"
+	// StatsSketch substitutes the probabilistic tier where the catalog
+	// carries sketches: HyperLogLog estimates for distinct counts and
+	// the count-min heavy-hitter share for TopShare. Columns without
+	// sketches (analytic catalogs) fall back to exact statistics.
+	StatsSketch StatsTier = "sketch"
+)
+
 // Config carries the MapReduce sizing parameters that turn estimated data
 // volumes into task counts — the resource-usage half of the prediction.
 type Config struct {
@@ -26,6 +41,8 @@ type Config struct {
 	// to isolate how much of the join-time prediction error comes from
 	// partition skew.
 	DisableReduceSkew bool
+	// Stats selects the statistics tier (StatsExact when empty).
+	Stats StatsTier
 }
 
 // DefaultConfig mirrors the paper's testbed configuration. BytesPerReducer
@@ -58,8 +75,14 @@ func NewEstimator(cat *catalog.Catalog, cfg Config) *Estimator {
 	if cfg.MaxReduces <= 0 {
 		cfg.MaxReduces = def.MaxReduces
 	}
+	if cfg.Stats == "" {
+		cfg.Stats = StatsExact
+	}
 	return &Estimator{cat: cat, cfg: cfg}
 }
+
+// Stats returns the statistics tier this estimator prices plans from.
+func (e *Estimator) Stats() StatsTier { return e.cfg.Stats }
 
 // JobEstimate is the estimated data flow and resource usage of one job —
 // exactly the quantities the paper's multivariate model consumes (Table 1).
@@ -117,6 +140,13 @@ type QueryEstimate struct {
 	DAG  *plan.DAG
 	Jobs []*JobEstimate
 	ByID map[string]*JobEstimate
+	// StatsTier records which statistics source priced this estimate, so
+	// EXPLAIN output and cache keys can attribute the numbers.
+	StatsTier StatsTier
+	// SketchCols counts base-table columns whose distinct/TopShare
+	// statistics were substituted from sketches (0 in exact mode, and in
+	// sketch mode over catalogs that carry no sketches).
+	SketchCols int
 }
 
 // TotalInputBytes sums raw input bytes over base-table scans only — the
@@ -131,7 +161,8 @@ func (q *QueryEstimate) TotalInputBytes() float64 {
 
 // EstimateQuery walks the DAG in topological order, estimating every job.
 func (e *Estimator) EstimateQuery(d *plan.DAG) (*QueryEstimate, error) {
-	qe := &QueryEstimate{DAG: d, ByID: make(map[string]*JobEstimate, len(d.Jobs))}
+	qe := &QueryEstimate{DAG: d, ByID: make(map[string]*JobEstimate, len(d.Jobs)),
+		StatsTier: e.cfg.Stats}
 	for _, job := range d.Jobs {
 		je, err := e.estimateJob(job, qe)
 		if err != nil {
@@ -160,7 +191,7 @@ func (e *Estimator) resolveInputs(job *plan.Job, qe *QueryEstimate) ([]input, fl
 	var ins []input
 	var scanBytes float64
 	for _, ts := range job.Scans {
-		in, err := e.scanInput(ts)
+		in, err := e.scanInput(ts, qe)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -188,8 +219,11 @@ func (e *Estimator) resolveInputs(job *plan.Job, qe *QueryEstimate) ([]input, fl
 }
 
 // scanInput builds the input for a base-table scan: S_pred from the pushed
-// predicates, S_proj from the pruned columns, and the filtered edge.
-func (e *Estimator) scanInput(ts plan.TableScan) (input, error) {
+// predicates, S_proj from the pruned columns, and the filtered edge. In
+// sketch mode, distinct counts and the heavy-hitter share come from the
+// column's probabilistic summaries (qe, when non-nil, tallies the
+// substitutions for EXPLAIN attribution).
+func (e *Estimator) scanInput(ts plan.TableScan, qe *QueryEstimate) (input, error) {
 	stats, err := e.cat.Table(ts.Table)
 	if err != nil {
 		return input{}, err
@@ -201,7 +235,7 @@ func (e *Estimator) scanInput(ts plan.TableScan) (input, error) {
 		if cs == nil {
 			return input{}, fmt.Errorf("table %q has no column %q", ts.Table, name)
 		}
-		cols[ts.Table+"."+name] = &ColStat{
+		st := &ColStat{
 			Hist:         cs.Hist,
 			Distinct:     float64(cs.Distinct),
 			BaseDistinct: float64(cs.Distinct),
@@ -209,6 +243,23 @@ func (e *Estimator) scanInput(ts plan.TableScan) (input, error) {
 			Width:        cs.AvgWidth,
 			Clustered:    cs.Clustered,
 		}
+		if e.cfg.Stats == StatsSketch && cs.Sketch != nil && cs.Sketch.HLL != nil {
+			d := cs.Sketch.HLL.Estimate()
+			if d < 1 {
+				d = 1
+			}
+			if rows := float64(stats.Rows); rows > 0 && d > rows {
+				d = rows
+			}
+			st.Distinct, st.BaseDistinct = d, d
+			if cs.Sketch.TopCount > 0 && stats.Rows > 0 {
+				st.TopShare = math.Min(1, float64(cs.Sketch.TopCount)/float64(stats.Rows))
+			}
+			if qe != nil {
+				qe.SketchCols++
+			}
+		}
+		cols[ts.Table+"."+name] = st
 		projWidth += cs.AvgWidth
 	}
 	if projWidth == 0 { //lint:allow saqpvet/floatcmp width sums are exact small-integer arithmetic
@@ -242,7 +293,7 @@ func (e *Estimator) estimateJob(job *plan.Job, qe *QueryEstimate) (*JobEstimate,
 	}
 	// Broadcast-join preludes transform the main input inside the map
 	// phase before the job's own operator sees it.
-	ins, err = e.applyMapJoins(job, je, ins)
+	ins, err = e.applyMapJoins(job, je, ins, qe)
 	if err != nil {
 		return nil, err
 	}
@@ -269,9 +320,9 @@ func (e *Estimator) estimateJob(job *plan.Job, qe *QueryEstimate) (*JobEstimate,
 // applyMapJoins folds each broadcast-join prelude into the matching input:
 // the probe edge is replaced by the estimated join result, and the small
 // table's bytes count toward D_in (it is read as side data by every map).
-func (e *Estimator) applyMapJoins(job *plan.Job, je *JobEstimate, ins []input) ([]input, error) {
+func (e *Estimator) applyMapJoins(job *plan.Job, je *JobEstimate, ins []input, qe *QueryEstimate) ([]input, error) {
 	for _, spec := range job.MapJoins {
-		b, err := e.scanInput(spec.BroadcastScan)
+		b, err := e.scanInput(spec.BroadcastScan, qe)
 		if err != nil {
 			return nil, err
 		}

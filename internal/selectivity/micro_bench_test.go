@@ -1,0 +1,41 @@
+package selectivity
+
+import (
+	"testing"
+
+	"saqp/internal/catalog"
+	"saqp/internal/dataset"
+	"saqp/internal/plan"
+	"saqp/internal/query"
+)
+
+// BenchmarkMicroEstimateQuery measures end-to-end estimation of the
+// paper's Q11 walkthrough (three-job chain: two joins and a group-by)
+// against an analytic catalog — the per-submission cost every cache
+// miss in the serving layer pays.
+func BenchmarkMicroEstimateQuery(b *testing.B) {
+	q, err := query.Parse(q11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := query.Resolve(q, dataset.AllSchemas()); err != nil {
+		b.Fatal(err)
+	}
+	d, err := plan.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var list []*dataset.Schema
+	for _, s := range dataset.AllSchemas() {
+		list = append(list, s)
+	}
+	cat := catalog.FromSchemas(list, 1, catalog.DefaultBuckets)
+	est := NewEstimator(cat, Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateQuery(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package selectivity
+
+import (
+	"testing"
+
+	"saqp/internal/catalog"
+	"saqp/internal/dataset"
+	"saqp/internal/plan"
+	"saqp/internal/query"
+)
+
+// compileSQL parses, resolves and compiles a query for estimator tests
+// that need to run the same DAG through several estimator configs.
+func compileSQL(t *testing.T, src string) *plan.DAG {
+	t.Helper()
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := query.Resolve(q, dataset.AllSchemas()); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	d, err := plan.Compile(q)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return d
+}
+
+// TestSketchModeSubstitutes checks the tier plumbing: a collected
+// catalog carries sketches, sketch mode reports the tier and the
+// substituted-column tally, and the estimates stay close to exact mode.
+func TestSketchModeSubstitutes(t *testing.T) {
+	schemas := []*dataset.Schema{dataset.LineItem(), dataset.Orders()}
+	cat := catalog.CollectAll(schemas, 0.01, 42, catalog.DefaultBuckets)
+	d := compileSQL(t, `SELECT l_orderkey, sum(l_quantity)
+		FROM lineitem JOIN orders ON l_orderkey = o_orderkey
+		GROUP BY l_orderkey`)
+
+	exact, err := NewEstimator(cat, Config{}).EstimateQuery(d)
+	if err != nil {
+		t.Fatalf("exact estimate: %v", err)
+	}
+	sk, err := NewEstimator(cat, Config{Stats: StatsSketch}).EstimateQuery(d)
+	if err != nil {
+		t.Fatalf("sketch estimate: %v", err)
+	}
+
+	if exact.StatsTier != StatsExact || exact.SketchCols != 0 {
+		t.Fatalf("exact mode reported tier=%q sketchCols=%d", exact.StatsTier, exact.SketchCols)
+	}
+	if sk.StatsTier != StatsSketch {
+		t.Fatalf("sketch mode reported tier=%q", sk.StatsTier)
+	}
+	if sk.SketchCols == 0 {
+		t.Fatal("sketch mode substituted no columns on a collected catalog")
+	}
+	for i, je := range sk.Jobs {
+		ex := exact.Jobs[i]
+		if e := relErr(je.OutRows, ex.OutRows); e > 0.10 {
+			t.Errorf("job %s: sketch OutRows %v vs exact %v (rel err %.3f)",
+				je.Job.ID, je.OutRows, ex.OutRows, e)
+		}
+		if e := relErr(je.IS, ex.IS); e > 0.10 {
+			t.Errorf("job %s: sketch IS %v vs exact %v", je.Job.ID, je.IS, ex.IS)
+		}
+		if e := relErr(je.FS, ex.FS); e > 0.10 {
+			t.Errorf("job %s: sketch FS %v vs exact %v", je.Job.ID, je.FS, ex.FS)
+		}
+	}
+}
+
+// TestSketchModeAnalyticFallback: an analytic catalog has no sketches,
+// so sketch mode must fall back to exact statistics column-for-column
+// and produce identical estimates.
+func TestSketchModeAnalyticFallback(t *testing.T) {
+	var list []*dataset.Schema
+	for _, s := range dataset.AllSchemas() {
+		list = append(list, s)
+	}
+	cat := catalog.FromSchemas(list, 0.1, catalog.DefaultBuckets)
+	d := compileSQL(t, q11)
+
+	exact, err := NewEstimator(cat, Config{}).EstimateQuery(d)
+	if err != nil {
+		t.Fatalf("exact estimate: %v", err)
+	}
+	sk, err := NewEstimator(cat, Config{Stats: StatsSketch}).EstimateQuery(d)
+	if err != nil {
+		t.Fatalf("sketch estimate: %v", err)
+	}
+	if sk.SketchCols != 0 {
+		t.Fatalf("analytic catalog substituted %d sketch columns", sk.SketchCols)
+	}
+	for i, je := range sk.Jobs {
+		ex := exact.Jobs[i]
+		if je.OutRows != ex.OutRows || je.IS != ex.IS || je.FS != ex.FS {
+			t.Errorf("job %s: fallback diverged from exact: out %v/%v IS %v/%v FS %v/%v",
+				je.Job.ID, je.OutRows, ex.OutRows, je.IS, ex.IS, je.FS, ex.FS)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package sketch
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// DefaultBloomFPRate is the false-positive target used when callers do
+// not configure one: ~10 bits and 7 probes per element.
+const DefaultBloomFPRate = 0.01
+
+// maxBloomHashes caps the probe count; beyond 16 the marginal
+// false-positive improvement is below the model's noise floor.
+const maxBloomHashes = 16
+
+// Bloom is a classic Bloom filter over pre-hashed elements, probed by
+// double hashing (Kirsch–Mitzenmacher: h_i = h1 + i·h2). It answers
+// "definitely absent" or "probably present"; there are no false
+// negatives, which is the property the shuffle's semi-join pruning
+// rests on. The zero value is unusable; construct with NewBloom.
+type Bloom struct {
+	m     uint64 // filter size in bits
+	k     int    // probes per element
+	words []uint64
+}
+
+// NewBloom sizes a filter for n expected elements at false-positive
+// rate fp (DefaultBloomFPRate when fp is out of (0,1)): the textbook
+// m = -n·ln(fp)/ln²2 bits and k = (m/n)·ln2 probes.
+func NewBloom(n int, fp float64) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = DefaultBloomFPRate
+	}
+	ln2 := math.Ln2
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (ln2 * ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxBloomHashes {
+		k = maxBloomHashes
+	}
+	return &Bloom{m: m, k: k, words: make([]uint64, (m+63)/64)}
+}
+
+// Bits returns the filter size in bits.
+func (b *Bloom) Bits() uint64 { return b.m }
+
+// Hashes returns the probe count per element.
+func (b *Bloom) Hashes() int { return b.k }
+
+// AddHash inserts one pre-hashed element.
+//
+//saqp:hotpath
+func (b *Bloom) AddHash(h uint64) {
+	h2 := Mix64(h) | 1
+	for i := 0; i < b.k; i++ {
+		pos := (h + uint64(i)*h2) % b.m
+		b.words[pos>>6] |= 1 << (pos & 63)
+	}
+}
+
+// ContainsHash reports whether a pre-hashed element may have been
+// added. False means definitely not; true means probably.
+//
+//saqp:hotpath
+func (b *Bloom) ContainsHash(h uint64) bool {
+	h2 := Mix64(h) | 1
+	for i := 0; i < b.k; i++ {
+		pos := (h + uint64(i)*h2) % b.m
+		if b.words[pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddString hashes s and inserts it.
+//
+//saqp:hotpath
+func (b *Bloom) AddString(s string) { b.AddHash(Hash64String(s)) }
+
+// ContainsString hashes s and probes for it.
+//
+//saqp:hotpath
+func (b *Bloom) ContainsString(s string) bool { return b.ContainsHash(Hash64String(s)) }
+
+// FillRatio returns the fraction of set bits.
+func (b *Bloom) FillRatio() float64 {
+	ones := 0
+	for _, w := range b.words {
+		ones += bits.OnesCount64(w)
+	}
+	return float64(ones) / float64(b.m)
+}
+
+// FPRate estimates the filter's current false-positive probability from
+// its fill ratio: (ones/m)^k.
+func (b *Bloom) FPRate() float64 { return math.Pow(b.FillRatio(), float64(b.k)) }
+
+// Merge ORs o into b, so b becomes the filter of the concatenated
+// streams. Geometries (m, k) must match.
+func (b *Bloom) Merge(o *Bloom) error {
+	if o == nil {
+		return nil
+	}
+	if b.m != o.m || b.k != o.k {
+		return fmt.Errorf("sketch: bloom merge: geometry (%d,%d) != (%d,%d)", b.m, b.k, o.m, o.k)
+	}
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+	return nil
+}
+
+// bloomJSON is the wire form: geometry plus base64-packed words.
+type bloomJSON struct {
+	M     uint64 `json:"m"`
+	K     int    `json:"k"`
+	Words string `json:"words"`
+}
+
+// MarshalJSON encodes the filter compactly.
+func (b *Bloom) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, 8*len(b.words))
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(raw[8*i:], w)
+	}
+	return json.Marshal(bloomJSON{M: b.m, K: b.k, Words: base64.StdEncoding.EncodeToString(raw)})
+}
+
+// UnmarshalJSON decodes a filter produced by MarshalJSON.
+func (b *Bloom) UnmarshalJSON(data []byte) error {
+	var w bloomJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sketch: bloom decode: %w", err)
+	}
+	if w.M == 0 || w.K < 1 || w.K > maxBloomHashes {
+		return fmt.Errorf("sketch: bloom decode: bad geometry (%d,%d)", w.M, w.K)
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Words)
+	if err != nil {
+		return fmt.Errorf("sketch: bloom decode: %w", err)
+	}
+	if uint64(len(raw)) != 8*((w.M+63)/64) {
+		return fmt.Errorf("sketch: bloom decode: %d payload bytes for %d bits", len(raw), w.M)
+	}
+	words := make([]uint64, len(raw)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	b.m, b.k, b.words = w.M, w.K, words
+	return nil
+}

@@ -1,0 +1,148 @@
+package sketch
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// Default count-min geometry: four rows of 1024 counters (32 KiB) keep
+// the expected overestimate under e/1024 ≈ 0.27% of the stream length
+// with failure probability e^-4, at catalog-collection scale.
+const (
+	DefaultCMSDepth = 4
+	DefaultCMSWidth = 1024
+)
+
+// CMS is a count-min sketch over pre-hashed elements: depth rows of
+// width counters, each element bumping one counter per row, the point
+// query taking the minimum. Estimates never undercount. Width must be a
+// power of two so the row index is a mask, not a division. The zero
+// value is unusable; construct with NewCMS.
+type CMS struct {
+	depth int
+	width uint64
+	cells []uint64 // depth*width, row-major
+}
+
+// NewCMS returns an empty count-min sketch. depth is clamped to [1, 16]
+// and width is rounded up to a power of two (minimum 16).
+func NewCMS(depth, width int) *CMS {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 16 {
+		depth = 16
+	}
+	w := uint64(16)
+	for w < uint64(width) {
+		w <<= 1
+	}
+	return &CMS{depth: depth, width: w, cells: make([]uint64, uint64(depth)*w)}
+}
+
+// Depth returns the row count.
+func (c *CMS) Depth() int { return c.depth }
+
+// Width returns the per-row counter count.
+func (c *CMS) Width() int { return int(c.width) }
+
+// Add counts one occurrence of a pre-hashed element.
+//
+//saqp:hotpath
+func (c *CMS) Add(h uint64) { c.AddN(h, 1) }
+
+// AddN counts n occurrences of a pre-hashed element.
+//
+//saqp:hotpath
+func (c *CMS) AddN(h, n uint64) {
+	g := Mix64(h) | 1
+	mask := c.width - 1
+	for i := 0; i < c.depth; i++ {
+		pos := uint64(i)*c.width + ((h + uint64(i)*g) & mask)
+		c.cells[pos] += n
+	}
+}
+
+// Count returns the estimated occurrence count of a pre-hashed element:
+// exact count plus a non-negative collision overestimate.
+//
+//saqp:hotpath
+func (c *CMS) Count(h uint64) uint64 {
+	g := Mix64(h) | 1
+	mask := c.width - 1
+	min := ^uint64(0)
+	for i := 0; i < c.depth; i++ {
+		v := c.cells[uint64(i)*c.width+((h+uint64(i)*g)&mask)]
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// AddString counts one occurrence of s.
+//
+//saqp:hotpath
+func (c *CMS) AddString(s string) { c.AddN(Hash64String(s), 1) }
+
+// CountString returns the estimated occurrence count of s.
+//
+//saqp:hotpath
+func (c *CMS) CountString(s string) uint64 { return c.Count(Hash64String(s)) }
+
+// Merge adds o's counters into c, so c becomes the sketch of the
+// concatenated streams. Geometries must match.
+func (c *CMS) Merge(o *CMS) error {
+	if o == nil {
+		return nil
+	}
+	if c.depth != o.depth || c.width != o.width {
+		return fmt.Errorf("sketch: cms merge: geometry %dx%d != %dx%d", c.depth, c.width, o.depth, o.width)
+	}
+	for i, v := range o.cells {
+		c.cells[i] += v
+	}
+	return nil
+}
+
+// cmsJSON is the wire form: geometry plus base64-packed counters.
+type cmsJSON struct {
+	Depth int    `json:"depth"`
+	Width int    `json:"width"`
+	Cells string `json:"cells"`
+}
+
+// MarshalJSON encodes the sketch compactly.
+func (c *CMS) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, 8*len(c.cells))
+	for i, v := range c.cells {
+		binary.LittleEndian.PutUint64(raw[8*i:], v)
+	}
+	return json.Marshal(cmsJSON{Depth: c.depth, Width: int(c.width), Cells: base64.StdEncoding.EncodeToString(raw)})
+}
+
+// UnmarshalJSON decodes a sketch produced by MarshalJSON.
+func (c *CMS) UnmarshalJSON(data []byte) error {
+	var w cmsJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sketch: cms decode: %w", err)
+	}
+	if w.Depth < 1 || w.Depth > 16 || w.Width < 16 || w.Width&(w.Width-1) != 0 {
+		return fmt.Errorf("sketch: cms decode: bad geometry %dx%d", w.Depth, w.Width)
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Cells)
+	if err != nil {
+		return fmt.Errorf("sketch: cms decode: %w", err)
+	}
+	if len(raw) != 8*w.Depth*w.Width {
+		return fmt.Errorf("sketch: cms decode: %d payload bytes for %dx%d", len(raw), w.Depth, w.Width)
+	}
+	cells := make([]uint64, len(raw)/8)
+	for i := range cells {
+		cells[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	c.depth, c.width, c.cells = w.Depth, uint64(w.Width), cells
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package sketch is the probabilistic statistics tier: HyperLogLog
+// distinct-count estimation, Bloom filters for join-key membership, and
+// a count-min sketch for heavy-hitter frequencies.
+//
+// The package exists because cardinality is the highest-variance input
+// to the paper's execution-time model: Eq. 5/6 join selectivity and the
+// Eq. 2 group-by combine both lean on per-column distinct counts, and
+// deriving those exactly costs a hash-map insert per tuple. A sketch
+// answers the same questions in fixed memory with a bounded,
+// testable error — the trade the catalog's sketch tier and the shuffle's
+// semi-join pruning are built on.
+//
+// Three contracts hold everywhere:
+//
+//   - Deterministic: hashing is seedless FNV-1a plus a SplitMix64
+//     finalizer; the same stream always produces byte-identical sketch
+//     state, so the package sits in analysis.DeterministicPackages.
+//   - Allocation-free at query time: Add, Estimate, Contains and Count
+//     carry //saqp:hotpath and are guarded by TestHotPathAllocs;
+//     constructors and Merge may allocate, the per-tuple path may not.
+//   - Mergeable: sketches built over stream partitions merge into the
+//     sketch of the concatenated stream (the map-side-combine shape),
+//     property-tested for all three structures.
+package sketch

@@ -1,0 +1,52 @@
+package sketch
+
+// The tier hashes with seedless FNV-1a (the project's standing choice
+// for statistical identity — see catalog.Fingerprint and the shuffle
+// partitioner) finished with SplitMix64 where independent derived
+// hashes are needed. FNV-1a alone has weak low-bit avalanche for short
+// keys; the finalizer repairs that for double hashing without a second
+// pass over the input.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 returns the 64-bit FNV-1a hash of b.
+//
+//saqp:hotpath
+func Hash64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Hash64String returns the 64-bit FNV-1a hash of s without converting
+// it to a byte slice.
+//
+//saqp:hotpath
+func Hash64String(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Mix64 is the SplitMix64 finalizer: a full-avalanche bijection used to
+// derive a second, independent hash from one FNV pass (double hashing
+// for Bloom probes and count-min rows).
+//
+//saqp:hotpath
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,162 @@
+package sketch
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Precision bounds for HyperLogLog. Below 4 the estimator's constants
+// are undefined; above 16 the register file stops paying for itself at
+// catalog scale (64 KiB per column for a 0.4% standard error).
+const (
+	MinHLLPrecision = 4
+	MaxHLLPrecision = 16
+	// DefaultHLLPrecision trades 16 KiB per column for a ~0.8% standard
+	// error (1.04/sqrt(2^14)) — an order of magnitude inside the ±5%
+	// accuracy gate the catalog tier is held to.
+	DefaultHLLPrecision = 14
+)
+
+// HLL is a HyperLogLog distinct-count estimator with 2^p one-byte
+// registers. The zero value is unusable; construct with NewHLL.
+type HLL struct {
+	p    uint8
+	regs []uint8
+}
+
+// NewHLL returns an empty HyperLogLog with precision p (clamped to
+// [MinHLLPrecision, MaxHLLPrecision]; pass DefaultHLLPrecision unless
+// memory is the constraint).
+func NewHLL(p int) *HLL {
+	if p < MinHLLPrecision {
+		p = MinHLLPrecision
+	}
+	if p > MaxHLLPrecision {
+		p = MaxHLLPrecision
+	}
+	return &HLL{p: uint8(p), regs: make([]uint8, 1<<p)}
+}
+
+// Precision returns the register-index width p.
+func (h *HLL) Precision() int { return int(h.p) }
+
+// Add folds one element, pre-hashed with Hash64/Hash64String, into the
+// register file. Adding the same value twice is a no-op by
+// construction, which is what makes the estimator a distinct counter.
+//
+//saqp:hotpath
+func (h *HLL) Add(hash uint64) {
+	// FNV-1a's top bits move little for keys differing only in trailing
+	// bytes (a byte delta spreads through one multiply, reaching only
+	// ~bit 48); the register index lives in the top p bits, so finalize
+	// with the SplitMix64 avalanche first. Bijective, so distinctness —
+	// and determinism — are preserved.
+	hash = Mix64(hash)
+	idx := hash >> (64 - h.p)
+	// Sentinel bit caps the rank at 64-p+1 when every payload bit is
+	// zero, without a branch.
+	w := hash<<h.p | 1<<(h.p-1)
+	rank := uint8(bits.LeadingZeros64(w)) + 1
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// AddString hashes s and folds it in.
+//
+//saqp:hotpath
+func (h *HLL) AddString(s string) { h.Add(Hash64String(s)) }
+
+// Estimate returns the distinct-count estimate: the HyperLogLog
+// harmonic mean with the standard small-range linear-counting
+// correction. Relative error is ~1.04/sqrt(2^p) at one standard
+// deviation.
+//
+//saqp:hotpath
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.regs))
+	sum := 0.0
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := h.alpha() * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Small-range correction: with empty registers remaining, the
+		// balls-in-bins occupancy estimate is tighter than the
+		// harmonic mean.
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// alpha is the bias-correction constant of the harmonic-mean estimator.
+//
+//saqp:hotpath
+func (h *HLL) alpha() float64 {
+	m := float64(len(h.regs))
+	switch len(h.regs) {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	return 0.7213 / (1 + 1.079/m)
+}
+
+// Merge folds o into h register-wise (pointwise max), so h becomes the
+// sketch of the concatenated streams. Precisions must match.
+func (h *HLL) Merge(o *HLL) error {
+	if o == nil {
+		return nil
+	}
+	if h.p != o.p {
+		return fmt.Errorf("sketch: hll merge: precision %d != %d", h.p, o.p)
+	}
+	for i, r := range o.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// hllJSON is the wire form: precision plus base64-packed registers.
+type hllJSON struct {
+	P    int    `json:"p"`
+	Regs string `json:"regs"`
+}
+
+// MarshalJSON encodes the sketch compactly for catalog persistence.
+func (h *HLL) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hllJSON{P: int(h.p), Regs: base64.StdEncoding.EncodeToString(h.regs)})
+}
+
+// UnmarshalJSON decodes a sketch produced by MarshalJSON.
+func (h *HLL) UnmarshalJSON(data []byte) error {
+	var w hllJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sketch: hll decode: %w", err)
+	}
+	if w.P < MinHLLPrecision || w.P > MaxHLLPrecision {
+		return fmt.Errorf("sketch: hll decode: precision %d out of range", w.P)
+	}
+	regs, err := base64.StdEncoding.DecodeString(w.Regs)
+	if err != nil {
+		return fmt.Errorf("sketch: hll decode: %w", err)
+	}
+	if len(regs) != 1<<w.P {
+		return fmt.Errorf("sketch: hll decode: %d registers, want %d", len(regs), 1<<w.P)
+	}
+	h.p = uint8(w.P)
+	h.regs = regs
+	return nil
+}

@@ -1,0 +1,48 @@
+package sketch
+
+import "testing"
+
+// Sinks defeat dead-code elimination inside AllocsPerRun closures.
+var (
+	hotSinkU64  uint64
+	hotSinkF64  float64
+	hotSinkBool bool
+)
+
+// TestHotPathAllocs is the runtime half of the //saqp:hotpath contract
+// for the sketch tier: the per-tuple query path — hashing, Add,
+// Estimate, Contains, Count — performs zero heap allocations per call.
+// Constructors and Merge are deliberately outside the guard.
+func TestHotPathAllocs(t *testing.T) {
+	h := NewHLL(DefaultHLLPrecision)
+	b := NewBloom(10_000, DefaultBloomFPRate)
+	c := NewCMS(DefaultCMSDepth, DefaultCMSWidth)
+	key := []byte("l_orderkey:424242")
+	skey := "l_orderkey:424242"
+	b.AddString(skey)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Hash64", func() { hotSinkU64 = Hash64(key) }},
+		{"Hash64String", func() { hotSinkU64 = Hash64String(skey) }},
+		{"Mix64", func() { hotSinkU64 = Mix64(hotSinkU64) }},
+		{"HLL.Add", func() { h.Add(hotSinkU64) }},
+		{"HLL.AddString", func() { h.AddString(skey) }},
+		{"HLL.Estimate", func() { hotSinkF64 = h.Estimate() }},
+		{"Bloom.AddHash", func() { b.AddHash(hotSinkU64) }},
+		{"Bloom.AddString", func() { b.AddString(skey) }},
+		{"Bloom.ContainsHash", func() { hotSinkBool = b.ContainsHash(hotSinkU64) }},
+		{"Bloom.ContainsString", func() { hotSinkBool = b.ContainsString(skey) }},
+		{"CMS.Add", func() { c.Add(hotSinkU64) }},
+		{"CMS.AddN", func() { c.AddN(hotSinkU64, 3) }},
+		{"CMS.AddString", func() { c.AddString(skey) }},
+		{"CMS.Count", func() { hotSinkU64 = c.Count(42) }},
+		{"CMS.CountString", func() { hotSinkU64 = c.CountString(skey) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(100, tc.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per call; //saqp:hotpath functions must not allocate", tc.name, n)
+		}
+	}
+}

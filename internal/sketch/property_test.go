@@ -1,0 +1,164 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// hllRelErr builds a precision-p HLL over n distinct keys drawn from
+// the deterministic key space and returns the relative estimation error.
+func hllRelErr(p, n int) float64 {
+	h := NewHLL(p)
+	for i := 0; i < n; i++ {
+		h.Add(Hash64String(fmt.Sprintf("prop-key-%d", i)))
+	}
+	return math.Abs(h.Estimate()-float64(n)) / float64(n)
+}
+
+// TestHLLErrorBoundsSweep checks the ±5% accuracy gate deterministically
+// at each decade from 10 to 10^6. The theoretical standard error at
+// p=14 is ~0.8%, so 5% is >6 sigma; a failure here is a bug, not noise.
+func TestHLLErrorBoundsSweep(t *testing.T) {
+	for _, n := range []int{10, 100, 1_000, 10_000, 100_000, 1_000_000} {
+		if err := hllRelErr(DefaultHLLPrecision, n); err > 0.05 {
+			t.Errorf("n=%d: relative error %.4f exceeds 5%%", n, err)
+		}
+	}
+}
+
+// TestHLLErrorBoundsQuick samples random cardinalities in 10..10^6 and
+// holds each to the same gate.
+func TestHLLErrorBoundsQuick(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 10 + int(seed)%999_991
+		return hllRelErr(DefaultHLLPrecision, n) <= 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBloomFalsePositiveRate fills a filter to its design load and
+// checks that the observed false-positive rate over a disjoint probe
+// set is near the configured target, with zero false negatives.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n, target = 10_000, 0.01
+	b := NewBloom(n, target)
+	for i := 0; i < n; i++ {
+		b.AddString(fmt.Sprintf("in-%d", i))
+	}
+	for i := 0; i < n; i++ {
+		if !b.ContainsString(fmt.Sprintf("in-%d", i)) {
+			t.Fatalf("false negative on in-%d", i)
+		}
+	}
+	fp := 0
+	const probes = 50_000
+	for i := 0; i < probes; i++ {
+		if b.ContainsString(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Allow 3x the target: double hashing plus FNV on similar keys costs
+	// a little versus the ideal-hash model, and the sample is finite.
+	if rate > 3*target {
+		t.Fatalf("false-positive rate %.4f, target %.4f", rate, target)
+	}
+	if est := b.FPRate(); est > 3*target {
+		t.Fatalf("fill-ratio FP estimate %.4f, target %.4f", est, target)
+	}
+}
+
+// TestCMSOverestimateOnlyQuick: a count-min estimate is never below the
+// true count, for arbitrary key multisets.
+func TestCMSOverestimateOnlyQuick(t *testing.T) {
+	f := func(keys []uint16) bool {
+		c := NewCMS(DefaultCMSDepth, 256)
+		truth := map[uint16]uint64{}
+		for _, k := range keys {
+			c.AddString(fmt.Sprintf("cms-%d", k))
+			truth[k]++
+		}
+		for k, want := range truth {
+			if c.CountString(fmt.Sprintf("cms-%d", k)) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeEquivalence: for each structure, sketching two halves of a
+// stream and merging equals sketching the concatenated stream, and
+// merge is commutative.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(split uint16) bool {
+		const total = 4000
+		cut := int(split) % total
+
+		whole, left, right := NewHLL(12), NewHLL(12), NewHLL(12)
+		bWhole, bLeft, bRight := NewBloom(total, 0.01), NewBloom(total, 0.01), NewBloom(total, 0.01)
+		cWhole, cLeft, cRight := NewCMS(4, 256), NewCMS(4, 256), NewCMS(4, 256)
+		for i := 0; i < total; i++ {
+			h := Hash64String(fmt.Sprintf("merge-%d", i%1000))
+			whole.Add(h)
+			bWhole.AddHash(h)
+			cWhole.Add(h)
+			if i < cut {
+				left.Add(h)
+				bLeft.AddHash(h)
+				cLeft.Add(h)
+			} else {
+				right.Add(h)
+				bRight.AddHash(h)
+				cRight.Add(h)
+			}
+		}
+
+		lr, rl := NewHLL(12), NewHLL(12)
+		if lr.Merge(left) != nil || lr.Merge(right) != nil ||
+			rl.Merge(right) != nil || rl.Merge(left) != nil {
+			return false
+		}
+		if lr.Estimate() != whole.Estimate() || rl.Estimate() != whole.Estimate() {
+			return false
+		}
+
+		blr := NewBloom(total, 0.01)
+		if blr.Merge(bLeft) != nil || blr.Merge(bRight) != nil {
+			return false
+		}
+		brl := NewBloom(total, 0.01)
+		if brl.Merge(bRight) != nil || brl.Merge(bLeft) != nil {
+			return false
+		}
+
+		clr := NewCMS(4, 256)
+		if clr.Merge(cLeft) != nil || clr.Merge(cRight) != nil {
+			return false
+		}
+		crl := NewCMS(4, 256)
+		if crl.Merge(cRight) != nil || crl.Merge(cLeft) != nil {
+			return false
+		}
+		for i := 0; i < 1000; i++ {
+			h := Hash64String(fmt.Sprintf("merge-%d", i))
+			if !blr.ContainsHash(h) || !brl.ContainsHash(h) || !bWhole.ContainsHash(h) {
+				return false
+			}
+			if clr.Count(h) != cWhole.Count(h) || crl.Count(h) != cWhole.Count(h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

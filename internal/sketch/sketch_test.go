@@ -1,0 +1,224 @@
+package sketch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64([]byte("lineitem")) != Hash64String("lineitem") {
+		t.Fatal("Hash64 and Hash64String disagree on identical input")
+	}
+	// Seedless FNV-1a is a stable contract: the catalog persists sketch
+	// state, so the hash of a fixed string must never change.
+	const want = uint64(0xa430d84680aabd0b)
+	if got := Hash64String("hello"); got != want {
+		t.Fatalf("Hash64String(hello) = %#x, want %#x", got, want)
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("Mix64 collides on trivially distinct inputs")
+	}
+}
+
+func TestHLLExactSmallRange(t *testing.T) {
+	h := NewHLL(DefaultHLLPrecision)
+	for i := 0; i < 100; i++ {
+		h.AddString(fmt.Sprintf("key-%d", i))
+	}
+	// Duplicates must not move the estimate.
+	before := h.Estimate()
+	for i := 0; i < 100; i++ {
+		h.AddString(fmt.Sprintf("key-%d", i))
+	}
+	if after := h.Estimate(); after != before {
+		t.Fatalf("duplicate adds moved estimate %v -> %v", before, after)
+	}
+	// Linear counting makes the small range essentially exact.
+	if math.Abs(before-100) > 2 {
+		t.Fatalf("estimate %v for 100 distinct, want within ±2", before)
+	}
+}
+
+func TestHLLPrecisionClamp(t *testing.T) {
+	if p := NewHLL(0).Precision(); p != MinHLLPrecision {
+		t.Fatalf("precision clamped to %d, want %d", p, MinHLLPrecision)
+	}
+	if p := NewHLL(99).Precision(); p != MaxHLLPrecision {
+		t.Fatalf("precision clamped to %d, want %d", p, MaxHLLPrecision)
+	}
+}
+
+func TestHLLMergeMismatch(t *testing.T) {
+	if err := NewHLL(10).Merge(NewHLL(12)); err == nil {
+		t.Fatal("merge across precisions succeeded")
+	}
+	if err := NewHLL(10).Merge(nil); err != nil {
+		t.Fatalf("merge with nil: %v", err)
+	}
+}
+
+func TestHLLJSONRoundTrip(t *testing.T) {
+	h := NewHLL(10)
+	for i := 0; i < 5000; i++ {
+		h.AddString(fmt.Sprintf("k%d", i))
+	}
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HLL
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != h.Estimate() {
+		t.Fatalf("round trip changed estimate %v -> %v", h.Estimate(), back.Estimate())
+	}
+	for _, bad := range []string{
+		`{"p":2,"regs":""}`,
+		`{"p":10,"regs":"AAAA"}`,
+		`{"p":10,"regs":"!!!"}`,
+	} {
+		var h2 HLL
+		if err := json.Unmarshal([]byte(bad), &h2); err == nil {
+			t.Fatalf("decoded invalid payload %s", bad)
+		}
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.AddString(fmt.Sprintf("member-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.ContainsString(fmt.Sprintf("member-%d", i)) {
+			t.Fatalf("false negative on member-%d", i)
+		}
+	}
+}
+
+func TestBloomGeometry(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	// Textbook sizing: ~9.6 bits and ~7 probes per element at 1%.
+	if b.Bits() < 9000 || b.Bits() > 10500 {
+		t.Fatalf("bits = %d, want ~9600", b.Bits())
+	}
+	if b.Hashes() < 6 || b.Hashes() > 8 {
+		t.Fatalf("hashes = %d, want ~7", b.Hashes())
+	}
+	// Degenerate inputs fall back to defaults rather than panicking.
+	if d := NewBloom(0, -1); d.Bits() < 64 || d.Hashes() < 1 {
+		t.Fatalf("degenerate constructor produced %d bits, %d hashes", d.Bits(), d.Hashes())
+	}
+}
+
+func TestBloomMergeMismatch(t *testing.T) {
+	if err := NewBloom(100, 0.01).Merge(NewBloom(5000, 0.01)); err == nil {
+		t.Fatal("merge across geometries succeeded")
+	}
+	if err := NewBloom(100, 0.01).Merge(nil); err != nil {
+		t.Fatalf("merge with nil: %v", err)
+	}
+}
+
+func TestBloomJSONRoundTrip(t *testing.T) {
+	b := NewBloom(500, 0.02)
+	for i := 0; i < 500; i++ {
+		b.AddString(fmt.Sprintf("k%d", i))
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bloom
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if !back.ContainsString(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("round trip lost member k%d", i)
+		}
+	}
+	for _, bad := range []string{
+		`{"m":0,"k":1,"words":""}`,
+		`{"m":64,"k":99,"words":"AAAAAAAAAAA="}`,
+		`{"m":128,"k":3,"words":"AAAAAAAAAAA="}`,
+	} {
+		var b2 Bloom
+		if err := json.Unmarshal([]byte(bad), &b2); err == nil {
+			t.Fatalf("decoded invalid payload %s", bad)
+		}
+	}
+}
+
+func TestCMSExactWhenSparse(t *testing.T) {
+	c := NewCMS(DefaultCMSDepth, DefaultCMSWidth)
+	for i := 0; i < 50; i++ {
+		for j := 0; j <= i; j++ {
+			c.AddString(fmt.Sprintf("item-%d", i))
+		}
+	}
+	// 50 keys in 4x1024 counters: collisions are possible but the
+	// estimate can never undercount.
+	for i := 0; i < 50; i++ {
+		got := c.CountString(fmt.Sprintf("item-%d", i))
+		if got < uint64(i+1) {
+			t.Fatalf("item-%d counted %d, true count %d (undercount)", i, got, i+1)
+		}
+	}
+	if c.CountString("item-0") != 1 {
+		t.Fatalf("item-0 counted %d with a near-empty sketch, want 1", c.CountString("item-0"))
+	}
+}
+
+func TestCMSGeometry(t *testing.T) {
+	c := NewCMS(0, 1000)
+	if c.Depth() != 1 {
+		t.Fatalf("depth clamped to %d, want 1", c.Depth())
+	}
+	if c.Width() != 1024 {
+		t.Fatalf("width rounded to %d, want 1024", c.Width())
+	}
+}
+
+func TestCMSMergeMismatch(t *testing.T) {
+	if err := NewCMS(4, 1024).Merge(NewCMS(4, 2048)); err == nil {
+		t.Fatal("merge across geometries succeeded")
+	}
+	if err := NewCMS(4, 1024).Merge(nil); err != nil {
+		t.Fatalf("merge with nil: %v", err)
+	}
+}
+
+func TestCMSJSONRoundTrip(t *testing.T) {
+	c := NewCMS(4, 256)
+	for i := 0; i < 300; i++ {
+		c.AddN(Hash64String(fmt.Sprintf("k%d", i)), uint64(i))
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CMS
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		h := Hash64String(fmt.Sprintf("k%d", i))
+		if back.Count(h) != c.Count(h) {
+			t.Fatalf("round trip changed count for k%d", i)
+		}
+	}
+	for _, bad := range []string{
+		`{"depth":0,"width":1024,"cells":""}`,
+		`{"depth":4,"width":1000,"cells":""}`,
+		`{"depth":1,"width":16,"cells":"AAAA"}`,
+	} {
+		var c2 CMS
+		if err := json.Unmarshal([]byte(bad), &c2); err == nil {
+			t.Fatalf("decoded invalid payload %s", bad)
+		}
+	}
+}

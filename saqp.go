@@ -194,7 +194,18 @@ func (f *Framework) Compile(sql string) (*DAG, error) {
 // join balance ratio P.
 func (f *Framework) Estimate(d *DAG) (*QueryEstimate, error) {
 	f.count(obs.MEstimates)
-	return f.Estimator.EstimateQuery(d)
+	qe, err := f.Estimator.EstimateQuery(d)
+	if err == nil && qe.StatsTier == selectivity.StatsSketch {
+		f.count(obs.MSketchEstimates)
+	}
+	return qe, err
+}
+
+// statsFingerprint extends the catalog fingerprint with the estimator's
+// statistics tier: exact-mode and sketch-mode servers price the same
+// plan differently, so they must never share cached estimates.
+func (f *Framework) statsFingerprint() string {
+	return f.Catalog.Fingerprint() + "/" + string(f.Estimator.Stats())
 }
 
 // Train fits the Eq. 8 job model and Eq. 9 task models from a corpus.

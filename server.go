@@ -142,7 +142,7 @@ func (f *Framework) NewServer(opts ServerOptions) (*Server, error) {
 	cfg := serve.Config{
 		Schemas:            f.Schemas,
 		Estimator:          f.Estimator,
-		CatalogFingerprint: f.Catalog.Fingerprint(),
+		CatalogFingerprint: f.statsFingerprint(),
 		TaskModel:          f.TaskTime,
 		JobModel:           f.JobTime,
 		Cluster:            opts.Cluster,
